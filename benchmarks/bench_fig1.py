@@ -1,0 +1,148 @@
+"""Figure 1 — query error versus B_prc (top row) and B_obj (bottom row).
+
+Six panels, exactly as in the paper:
+
+=====  ==================  ========  ==========================
+panel  query               domain    swept budget
+=====  ==================  ========  ==========================
+1(a)   {Bmi}               pictures  B_prc (B_obj fixed at 4c)
+1(b)   {Protein}           recipes   B_prc
+1(c)   {Bmi, Age}          pictures  B_prc
+1(d)   {Bmi}               pictures  B_obj (B_prc fixed)
+1(e)   {Protein}           recipes   B_obj
+1(f)   {Bmi, Age}          pictures  B_obj
+=====  ==================  ========  ==========================
+
+Algorithms: DisQ vs SimpleDisQ vs NaiveAverage.  Shape assertions
+follow Section 5.2: DisQ has the lowest mean error everywhere, only
+DisQ improves with B_prc, everyone improves with B_obj, and the gaps
+are largest at small per-object budgets.
+"""
+
+import math
+
+from benchmarks.common import (
+    B_OBJ_FIXED,
+    B_OBJ_SWEEP,
+    B_PRC_FIXED,
+    B_PRC_SWEEP,
+    BENCH_CONFIG,
+    mean_errors,
+    pictures_domain,
+    recipes_domain,
+    write_report,
+)
+from repro.experiments import render_series, sweep_b_obj, sweep_b_prc
+from repro.experiments.runner import make_query
+
+ALGOS = ["DisQ", "SimpleDisQ", "NaiveAverage"]
+
+
+def _run_b_prc_panel(name, domain, targets):
+    # Each target needs its own example pool, so the preprocessing
+    # budget axis scales with the query size (see EXPERIMENTS.md).
+    query = make_query(domain, targets)
+    config = BENCH_CONFIG.scaled(repetitions=3)
+    sweep = tuple(b * len(targets) for b in B_PRC_SWEEP)
+    series = sweep_b_prc(ALGOS, domain, query, B_OBJ_FIXED, sweep, config)
+    write_report(
+        name,
+        render_series(series, "B_prc(c)", title=f"{name}: error vs B_prc, Q={targets}"),
+    )
+    return series
+
+
+def _run_b_obj_panel(name, domain, targets):
+    query = make_query(domain, targets)
+    series = sweep_b_obj(
+        ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED * len(targets), BENCH_CONFIG
+    )
+    write_report(
+        name,
+        render_series(series, "B_obj(c)", title=f"{name}: error vs B_obj, Q={targets}"),
+    )
+    return series
+
+
+def _assert_disq_wins_on_average(series):
+    means = mean_errors(series)
+    assert means["DisQ"] < means["SimpleDisQ"], means
+    assert means["DisQ"] < means["NaiveAverage"], means
+
+
+def test_fig1a(benchmark):
+    series = benchmark.pedantic(
+        lambda: _run_b_prc_panel("fig1a", pictures_domain(), ("bmi",)),
+        iterations=1,
+        rounds=1,
+    )
+    _assert_disq_wins_on_average(series)
+    # Only DisQ depends on B_prc.  On Bmi the important attributes are
+    # found quickly (the paper: "the improvement is slowly stagnating
+    # which is the expected result if the 'important' attributes are
+    # found quickly"), so at bench scale the curve saturates almost
+    # immediately; assert it does not *degrade* beyond noise.
+    disq = [e for _, e in series["DisQ"] if math.isfinite(e)]
+    half = len(disq) // 2
+    front = sum(disq[:half]) / half
+    back = sum(disq[half:]) / (len(disq) - half)
+    assert back <= front * 1.20, disq
+
+
+def test_fig1b(benchmark):
+    series = benchmark.pedantic(
+        lambda: _run_b_prc_panel("fig1b", recipes_domain(), ("protein",)),
+        iterations=1,
+        rounds=1,
+    )
+    _assert_disq_wins_on_average(series)
+    # Protein's NaiveAverage is dramatically worse (the paper's point).
+    means = mean_errors(series)
+    assert means["NaiveAverage"] > 1.5 * means["DisQ"]
+
+
+def test_fig1c(benchmark):
+    series = benchmark.pedantic(
+        lambda: _run_b_prc_panel("fig1c", pictures_domain(), ("bmi", "age")),
+        iterations=1,
+        rounds=1,
+    )
+    _assert_disq_wins_on_average(series)
+
+
+def test_fig1d(benchmark):
+    series = benchmark.pedantic(
+        lambda: _run_b_obj_panel("fig1d", pictures_domain(), ("bmi",)),
+        iterations=1,
+        rounds=1,
+    )
+    _assert_disq_wins_on_average(series)
+    # Everyone improves as B_obj grows (first point vs last point).
+    for name in ALGOS:
+        points = [e for _, e in series[name] if math.isfinite(e)]
+        assert points[-1] < points[0], (name, points)
+    # DisQ's edge over NaiveAverage is biggest at the smallest budget.
+    def gap(index):
+        return series["NaiveAverage"][index][1] - series["DisQ"][index][1]
+
+    assert gap(0) > gap(len(B_OBJ_SWEEP) - 1)
+
+
+def test_fig1e(benchmark):
+    series = benchmark.pedantic(
+        lambda: _run_b_obj_panel("fig1e", recipes_domain(), ("protein",)),
+        iterations=1,
+        rounds=1,
+    )
+    _assert_disq_wins_on_average(series)
+    means = mean_errors(series)
+    assert means["NaiveAverage"] > 1.5 * means["DisQ"]
+
+
+def test_fig1f(benchmark):
+    series = benchmark.pedantic(
+        lambda: _run_b_obj_panel("fig1f", pictures_domain(), ("bmi", "age")),
+        iterations=1,
+        rounds=1,
+    )
+    _assert_disq_wins_on_average(series)

@@ -1,0 +1,63 @@
+"""Figure 3 — DisQ versus OnlyQueryAttributes (GetNextAttribute study).
+
+Section 5.3.1: restricting dismantling questions to the attributes
+explicitly in the query loses the multi-hop discoveries, and DisQ
+consistently outperforms the restricted variant — increasingly so as
+B_prc grows, because the restricted variant's answer variety dries up.
+
+Panels: 3(a) error vs B_prc at B_obj = 4c; 3(b) error vs B_obj at a
+fixed B_prc — both for the recipes Protein query, as in the paper.
+"""
+
+from benchmarks.common import (
+    B_OBJ_FIXED,
+    B_OBJ_SWEEP,
+    B_PRC_FIXED,
+    B_PRC_SWEEP,
+    BENCH_CONFIG,
+    mean_errors,
+    recipes_domain,
+    write_report,
+)
+from repro.experiments import render_series, sweep_b_obj, sweep_b_prc
+from repro.experiments.runner import make_query
+
+ALGOS = ["DisQ", "OnlyQueryAttributes"]
+
+
+def test_fig3a(benchmark):
+    domain = recipes_domain()
+    query = make_query(domain, ("protein",))
+
+    def run():
+        series = sweep_b_prc(
+            ALGOS, domain, query, B_OBJ_FIXED, B_PRC_SWEEP, BENCH_CONFIG
+        )
+        write_report(
+            "fig3a",
+            render_series(series, "B_prc(c)", title="fig3a: DisQ vs OnlyQueryAttributes"),
+        )
+        return series
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    means = mean_errors(series)
+    assert means["DisQ"] <= means["OnlyQueryAttributes"] * 1.02, means
+
+
+def test_fig3b(benchmark):
+    domain = recipes_domain()
+    query = make_query(domain, ("protein",))
+
+    def run():
+        series = sweep_b_obj(
+            ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG
+        )
+        write_report(
+            "fig3b",
+            render_series(series, "B_obj(c)", title="fig3b: DisQ vs OnlyQueryAttributes"),
+        )
+        return series
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    means = mean_errors(series)
+    assert means["DisQ"] <= means["OnlyQueryAttributes"] * 1.02, means

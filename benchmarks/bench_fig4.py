@@ -1,0 +1,96 @@
+"""Figure 4 — multi-target statistic estimation variants (Section 5.3.2).
+
+Query {Bmi, Age} on the pictures domain, comparing how the statistics
+for multiple query attributes are collected and completed:
+
+* DisQ            — the pairing rule + angular-distance graph estimation;
+* Full            — statistics for every (attribute, target) pair;
+* OneConnection   — each new attribute paired with exactly one target;
+* NaiveEstimations— DisQ's pairing, missing S_o = global average;
+* TotallySeparated— independent single-target runs with split budgets.
+
+Panels: 4(a) error vs B_prc at B_obj = 4c; 4(b) error vs B_obj at a
+high fixed B_prc (the paper used $50 to highlight the trends).
+
+Shape assertions follow the paper: DisQ beats TotallySeparated and
+NaiveEstimations; versus Full and OneConnection it is at least
+comparable (the paper reports small regime-dependent differences).
+"""
+
+from benchmarks.common import (
+    B_OBJ_FIXED,
+    B_OBJ_SWEEP,
+    B_PRC_SWEEP,
+    BENCH_CONFIG,
+    mean_errors,
+    pictures_domain,
+    write_report,
+)
+from repro.experiments import render_series, sweep_b_obj, sweep_b_prc
+from repro.experiments.runner import make_query
+
+ALGOS = [
+    "DisQ",          # shared example pool (the full algorithm)
+    "DisQSplit",     # split pools + pairing rule + graph estimation
+    "Full",
+    "OneConnection",
+    "NaiveEstimations",
+    "TotallySeparated",
+]
+
+#: The paper sets B_prc high ($50) for panel (b) to highlight trends.
+B_PRC_HIGH = 5000.0
+
+
+def _assert_paper_shape(means):
+    # Full DisQ (shared example questions across targets) beats solving
+    # the targets separately and the naive default-value estimation.
+    assert means["DisQ"] < means["TotallySeparated"], means
+    assert means["DisQ"] < means["NaiveEstimations"], means
+    # Within the split-pool regime, the pairing rule plus graph
+    # estimation is at least comparable to collecting everything (Full)
+    # and to the single-connection heuristic, and beats the naive fill
+    # (the paper reports small regime-dependent differences among the
+    # first three).
+    assert means["DisQSplit"] <= means["Full"] * 1.15, means
+    assert means["DisQSplit"] <= means["OneConnection"] * 1.15, means
+    assert means["DisQSplit"] < means["NaiveEstimations"], means
+
+
+def test_fig4a(benchmark):
+    domain = pictures_domain()
+    query = make_query(domain, ("bmi", "age"))
+
+    def run():
+        sweep = tuple(b * 2 for b in B_PRC_SWEEP)  # two example pools
+        config = BENCH_CONFIG.scaled(repetitions=3)
+        series = sweep_b_prc(ALGOS, domain, query, B_OBJ_FIXED, sweep, config)
+        write_report(
+            "fig4a",
+            render_series(
+                series, "B_prc(c)", title="fig4a: statistic estimation variants"
+            ),
+        )
+        return series
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    _assert_paper_shape(mean_errors(series))
+
+
+def test_fig4b(benchmark):
+    domain = pictures_domain()
+    query = make_query(domain, ("bmi", "age"))
+
+    def run():
+        config = BENCH_CONFIG.scaled(repetitions=3)
+        series = sweep_b_obj(ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_HIGH, config)
+        write_report(
+            "fig4b",
+            render_series(
+                series, "B_obj(c)", title="fig4b: statistic estimation variants"
+            ),
+        )
+        return series
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    _assert_paper_shape(mean_errors(series))

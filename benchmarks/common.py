@@ -1,0 +1,88 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one of the paper's tables or
+figures: it runs the experiment at a documented scaled-down size,
+prints the same rows/series the paper reports, asserts the paper's
+qualitative *shape* (who wins, where the gaps grow), and writes the
+output under ``benchmarks/out/`` so EXPERIMENTS.md can quote it.
+
+Scaling relative to the paper (see EXPERIMENTS.md): domains hold 250
+objects instead of 500, statistics pools use ``N_1 = 60`` instead of
+200, points are averaged over 2-3 repetitions instead of 30, and the
+``B_prc`` axis is shifted accordingly (examples cost ``N_1 x 5c``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.domains import (
+    make_houses_domain,
+    make_laptops_domain,
+    make_pictures_domain,
+    make_recipes_domain,
+)
+from repro.experiments import ExperimentConfig
+
+#: Where benches drop their rendered tables.
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The scaled-down default experiment configuration (see module doc).
+BENCH_CONFIG = ExperimentConfig(
+    n_objects=250, n1=60, repetitions=2, eval_objects=60
+)
+
+#: Budget axes used across the figure benches, in cents.
+B_PRC_SWEEP = (800.0, 1500.0, 2500.0, 3500.0)
+B_OBJ_SWEEP = (0.4, 1.0, 2.0, 4.0, 7.0, 10.0)
+B_PRC_FIXED = 2500.0
+B_OBJ_FIXED = 4.0
+
+
+@lru_cache(maxsize=None)
+def pictures_domain():
+    """The calibrated Pictures domain, shared across benches."""
+    return make_pictures_domain(n_objects=BENCH_CONFIG.n_objects, seed=1)
+
+
+@lru_cache(maxsize=None)
+def recipes_domain():
+    """The calibrated Recipes domain, shared across benches."""
+    return make_recipes_domain(n_objects=BENCH_CONFIG.n_objects, seed=1)
+
+
+@lru_cache(maxsize=None)
+def houses_domain():
+    """The house-prices domain (coverage experiment)."""
+    return make_houses_domain(n_objects=BENCH_CONFIG.n_objects, seed=1)
+
+
+@lru_cache(maxsize=None)
+def laptops_domain():
+    """The laptop-prices domain (coverage experiment)."""
+    return make_laptops_domain(n_objects=BENCH_CONFIG.n_objects, seed=1)
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a bench report and persist it under ``benchmarks/out``."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def final_errors(series: dict[str, list[tuple[float, float]]]) -> dict[str, float]:
+    """Last-point error per algorithm (largest swept budget)."""
+    return {name: points[-1][1] for name, points in series.items()}
+
+
+def mean_errors(series: dict[str, list[tuple[float, float]]]) -> dict[str, float]:
+    """Mean error per algorithm across all finite sweep points."""
+    import math
+
+    result = {}
+    for name, points in series.items():
+        finite = [e for _, e in points if math.isfinite(e)]
+        result[name] = sum(finite) / len(finite) if finite else float("inf")
+    return result

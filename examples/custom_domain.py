@@ -1,0 +1,126 @@
+"""Bring your own domain: plugging a custom world into DisQ.
+
+Everything the planner needs from a domain is captured by
+``GaussianDomainSpec``: attribute names, true-value moments, worker
+difficulties, a dismantling taxonomy, and optional synonyms.  This
+example builds a small *used cars* domain from scratch, runs DisQ on
+the (hard) ``price`` attribute, and saves the recorded crowd answers
+so a second run replays identically — the paper's methodology for
+comparing algorithms in equivalent settings.
+
+Run:  python examples/custom_domain.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    AnswerRecorder,
+    CrowdPlatform,
+    DisQParams,
+    DisQPlanner,
+    OnlineEvaluator,
+    Query,
+    default_weights,
+    make_synthetic_domain,
+    query_error,
+)
+from repro.data.store import load_recorder, save_recorder
+from repro.domains import DismantleTaxonomy, GaussianDomain, GaussianDomainSpec
+from repro.domains.calibration import correlation_from_pairs
+
+NAMES = (
+    "price",
+    "mileage_km",
+    "age_years",
+    "engine_size",
+    "is_luxury_brand",
+    "has_visible_rust",
+    "interior_condition",
+    "color_is_popular",
+)
+
+
+def make_cars_domain() -> GaussianDomain:
+    correlations = {
+        ("price", "mileage_km"): -0.65,
+        ("price", "age_years"): -0.70,
+        ("price", "engine_size"): 0.45,
+        ("price", "is_luxury_brand"): 0.55,
+        ("price", "has_visible_rust"): -0.40,
+        ("price", "interior_condition"): 0.50,
+        ("mileage_km", "age_years"): 0.75,
+        ("age_years", "has_visible_rust"): 0.50,
+        ("interior_condition", "has_visible_rust"): -0.45,
+    }
+    taxonomy = DismantleTaxonomy(
+        edges={
+            "price": {
+                "age_years": 0.20,
+                "mileage_km": 0.15,
+                "is_luxury_brand": 0.12,
+                "interior_condition": 0.08,
+            },
+            "age_years": {"has_visible_rust": 0.20, "mileage_km": 0.15},
+            "interior_condition": {"has_visible_rust": 0.20},
+        }
+    )
+    spec = GaussianDomainSpec(
+        names=NAMES,
+        means=(12000.0, 90000.0, 7.0, 1.8, 0.3, 0.3, 0.6, 0.5),
+        sigmas=(6000.0, 40000.0, 3.5, 0.5, 0.25, 0.25, 0.2, 0.25),
+        correlation=correlation_from_pairs(NAMES, correlations),
+        # Guessing a car's price from photos is hard (sd ~ 4000); the
+        # finer attributes are easy to judge.
+        difficulties=(
+            1.6e7, 4e8, 4.0, 0.09, 0.03, 0.02, 0.03, 0.02,
+        ),
+        binary=(False, False, False, False, True, True, False, True),
+        taxonomy=taxonomy,
+    )
+    return GaussianDomain(spec, n_objects=250, seed=21, name="used-cars")
+
+
+def run_once(domain, recorder) -> tuple[float, tuple[str, ...]]:
+    platform = CrowdPlatform(domain, recorder=recorder, seed=5)
+    query = Query(targets=("price",), weights=default_weights(domain, ("price",)))
+    planner = DisQPlanner(
+        platform, query, 6.0, 2500.0, DisQParams(n1=70)
+    )
+    plan = planner.preprocess()
+    cars = range(80)
+    estimates = OnlineEvaluator(platform.fork(), plan).evaluate(cars)
+    return query_error(domain, estimates, cars, query), plan.attributes
+
+
+def main() -> None:
+    domain = make_cars_domain()
+    recorder = AnswerRecorder()
+    error, discovered = run_once(domain, recorder)
+    print(f"discovered attributes: {', '.join(discovered)}")
+    print(f"weighted price error:  {error:.4f}")
+
+    # Persist the crowd answers and replay: identical results.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "car_answers.json"
+        save_recorder(recorder, path)
+        replay_error, _ = run_once(domain, load_recorder(path))
+    print(f"replayed error:        {replay_error:.4f} (identical: "
+          f"{np.isclose(error, replay_error)})")
+
+    # The same pipeline works on fully synthetic worlds too.
+    synthetic = make_synthetic_domain(n_attributes=12, n_objects=200, seed=4)
+    target = synthetic.attributes()[0]
+    platform = CrowdPlatform(synthetic, seed=9)
+    query = Query(targets=(target,))
+    plan = DisQPlanner(platform, query, 2.0, 1200.0, DisQParams(n1=50)).preprocess()
+    objects = range(60)
+    estimates = OnlineEvaluator(platform.fork(), plan).evaluate(objects)
+    error = query_error(synthetic, estimates, objects, query)
+    print(f"synthetic domain ({target}): error = {error:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""DisQ — Dismantling Complicated Query Attributes with Crowd.
+
+A complete reproduction of Laadan & Milo, EDBT 2015: crowd-based query
+evaluation where hard query attributes are first *dismantled* by the
+crowd into finer, easier, correlated attributes, and the online
+per-object budget is optimally distributed across them.
+
+Quickstart::
+
+    from repro import (
+        CrowdPlatform, DisQPlanner, OnlineEvaluator, Query,
+        make_recipes_domain, default_weights, query_error,
+    )
+
+    domain = make_recipes_domain(seed=1)
+    platform = CrowdPlatform(domain, seed=1)
+    query = Query(
+        targets=("protein",),
+        weights=default_weights(domain, ("protein",)),
+    )
+    planner = DisQPlanner(
+        platform, query, b_obj_cents=4.0, b_prc_cents=1500.0,
+    )
+    plan = planner.preprocess()          # the offline phase
+    online = OnlineEvaluator(platform.fork(), plan)
+    estimates = online.evaluate(range(50))   # the online phase
+    print(query_error(domain, estimates, range(50), query))
+"""
+
+from repro.core import (
+    BudgetDistribution,
+    DisQParams,
+    DisQPlanner,
+    EstimationFormula,
+    NaiveAverage,
+    OnlineEvaluator,
+    PreprocessingPlan,
+    Query,
+    StatisticsStore,
+    make_full_planner,
+    make_naive_estimations_planner,
+    make_one_connection_planner,
+    make_only_query_attributes_planner,
+    make_simple_disq_planner,
+    query_error,
+    run_totally_separated,
+)
+from repro.core.online import default_weights
+from repro.crowd import (
+    AnswerRecorder,
+    AttributeNormalizer,
+    Budget,
+    CrowdPlatform,
+    NormalizationMode,
+    PriceSchedule,
+    WorkerPool,
+)
+from repro.data import DataTable, parse_query
+from repro.domains import (
+    Domain,
+    GaussianDomain,
+    make_houses_domain,
+    make_laptops_domain,
+    make_pictures_domain,
+    make_recipes_domain,
+    make_synthetic_domain,
+)
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    DomainError,
+    PlanningError,
+    QueryError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerRecorder",
+    "AttributeNormalizer",
+    "Budget",
+    "BudgetDistribution",
+    "BudgetExhaustedError",
+    "ConfigurationError",
+    "CrowdPlatform",
+    "DataTable",
+    "DisQParams",
+    "DisQPlanner",
+    "Domain",
+    "DomainError",
+    "EstimationFormula",
+    "GaussianDomain",
+    "NaiveAverage",
+    "NormalizationMode",
+    "OnlineEvaluator",
+    "PlanningError",
+    "PreprocessingPlan",
+    "PriceSchedule",
+    "Query",
+    "QueryError",
+    "ReproError",
+    "StatisticsStore",
+    "WorkerPool",
+    "default_weights",
+    "make_full_planner",
+    "make_houses_domain",
+    "make_laptops_domain",
+    "make_naive_estimations_planner",
+    "make_one_connection_planner",
+    "make_only_query_attributes_planner",
+    "make_pictures_domain",
+    "make_recipes_domain",
+    "make_simple_disq_planner",
+    "make_synthetic_domain",
+    "parse_query",
+    "query_error",
+    "run_totally_separated",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: plan, evaluate and reproduce from a shell.
+
+Examples::
+
+    python -m repro plan --domain recipes --target protein \
+        --b-obj 4 --b-prc 2000
+    python -m repro evaluate --domain pictures --target bmi \
+        --b-obj 4 --b-prc 2500 --objects 100 --compare
+    python -m repro sweep --domain recipes --target protein \
+        --axis b_obj --values 0.4,1,2,4 --b-prc 2500
+    python -m repro coverage --domain laptops --target price
+    python -m repro tune --domain recipes --target protein \
+        --total 10000 --objects 500
+
+All money amounts are US cents, as everywhere in the library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.disq import DisQParams, DisQPlanner
+from repro.core.online import OnlineEvaluator, default_weights, query_error
+from repro.core.model import Query
+from repro.core.tuning import optimize_budget_split
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.domains import (
+    make_houses_domain,
+    make_laptops_domain,
+    make_pictures_domain,
+    make_recipes_domain,
+    make_synthetic_domain,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    coverage_experiment,
+    render_series,
+    render_table,
+    sweep_b_obj,
+    sweep_b_prc,
+)
+from repro.experiments.runner import make_query
+
+DOMAINS = {
+    "pictures": make_pictures_domain,
+    "recipes": make_recipes_domain,
+    "houses": make_houses_domain,
+    "laptops": make_laptops_domain,
+    "synthetic": lambda n_objects, seed: make_synthetic_domain(
+        n_objects=n_objects, seed=seed
+    ),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--domain", choices=sorted(DOMAINS), required=True, help="ground-truth world"
+    )
+    parser.add_argument(
+        "--target",
+        action="append",
+        required=True,
+        help="query attribute (repeatable for multi-target queries)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument(
+        "--n-objects", type=int, default=300, help="domain size (objects)"
+    )
+    parser.add_argument(
+        "--n1", type=int, default=80, help="statistics examples per pool (paper: 200)"
+    )
+
+
+def _build(args) -> tuple:
+    domain = DOMAINS[args.domain](n_objects=args.n_objects, seed=args.seed)
+    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=args.seed)
+    query = make_query(domain, tuple(args.target))
+    return domain, platform, query
+
+
+def cmd_plan(args) -> int:
+    """Run the offline phase and print the plan."""
+    domain, platform, query = _build(args)
+    planner = DisQPlanner(
+        platform, query, args.b_obj, args.b_prc, DisQParams(n1=args.n1)
+    )
+    plan = planner.preprocess()
+    print(plan.describe())
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """Plan, then run the online phase and report the query error."""
+    domain, platform, query = _build(args)
+    planner = DisQPlanner(
+        platform, query, args.b_obj, args.b_prc, DisQParams(n1=args.n1)
+    )
+    plan = planner.preprocess()
+    print(plan.describe())
+    object_ids = range(min(args.objects, domain.n_objects()))
+    estimates = OnlineEvaluator(platform.fork(), plan).evaluate(object_ids)
+    error = query_error(domain, estimates, object_ids, query)
+    print(f"\nDisQ weighted query error: {error:.4f}")
+    if args.compare:
+        from repro.core.baselines import NaiveAverage
+
+        naive_plan = NaiveAverage(platform.fork(), query, args.b_obj).preprocess()
+        naive = OnlineEvaluator(platform.fork(), naive_plan).evaluate(object_ids)
+        naive_error = query_error(domain, naive, object_ids, query)
+        print(f"NaiveAverage query error:  {naive_error:.4f}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Sweep one budget axis across algorithms and print the series."""
+    domain, _, query = _build(args)
+    config = ExperimentConfig(
+        n_objects=args.n_objects,
+        n1=args.n1,
+        repetitions=args.repetitions,
+        eval_objects=args.objects,
+    )
+    values = [float(v) for v in args.values.split(",")]
+    algorithms = args.algorithms.split(",")
+    if args.axis == "b_obj":
+        series = sweep_b_obj(algorithms, domain, query, values, args.b_prc, config)
+        print(render_series(series, "B_obj(c)"))
+    else:
+        series = sweep_b_prc(algorithms, domain, query, args.b_obj, values, config)
+        print(render_series(series, "B_prc(c)"))
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    """Run the gold-standard coverage experiment for one target."""
+    domain, _, _ = _build(args)
+    config = ExperimentConfig(
+        n_objects=args.n_objects, n1=args.n1, repetitions=args.repetitions
+    )
+    result = coverage_experiment(
+        domain, args.target[0], args.b_obj, args.b_prc, config
+    )
+    print(
+        render_table(
+            ["measure", "DisQ", "naive"],
+            [
+                ["per-run coverage", result.coverage_disq, result.coverage_naive],
+                [
+                    "union coverage",
+                    result.union_coverage_disq,
+                    result.union_coverage_naive,
+                ],
+            ],
+            precision=2,
+        )
+    )
+    missing = sorted(result.gold - result.discovered_disq)
+    if missing:
+        print(f"missing from DisQ: {', '.join(missing)}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Auto-split one total budget into (B_prc, B_obj)."""
+    domain, platform, query = _build(args)
+    best, grid = optimize_budget_split(
+        platform,
+        domain,
+        query,
+        total_cents=args.total,
+        n_objects=args.objects,
+        params=DisQParams(n1=args.n1),
+    )
+    print(
+        render_table(
+            ["B_obj(c)", "B_prc(c)", "pilot error"],
+            [[s.b_obj_cents, s.b_prc_cents, s.pilot_error] for s in grid],
+            title=f"budget splits for total {args.total:g}c over {args.objects} objects",
+        )
+    )
+    print(
+        f"\nbest: B_obj={best.b_obj_cents:g}c/object, "
+        f"B_prc={best.b_prc_cents:g}c (pilot error {best.pilot_error:.4f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DisQ: dismantling complicated query attributes with crowd",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser("plan", help="run the offline phase, print the plan")
+    _add_common(plan)
+    plan.add_argument("--b-obj", type=float, default=4.0, help="online cents/object")
+    plan.add_argument("--b-prc", type=float, default=2000.0, help="offline cents")
+    plan.set_defaults(handler=cmd_plan)
+
+    evaluate = commands.add_parser("evaluate", help="plan + online phase + error")
+    _add_common(evaluate)
+    evaluate.add_argument("--b-obj", type=float, default=4.0)
+    evaluate.add_argument("--b-prc", type=float, default=2000.0)
+    evaluate.add_argument("--objects", type=int, default=100, help="objects to evaluate")
+    evaluate.add_argument(
+        "--compare", action="store_true", help="also run NaiveAverage"
+    )
+    evaluate.set_defaults(handler=cmd_evaluate)
+
+    sweep = commands.add_parser("sweep", help="budget sweep across algorithms")
+    _add_common(sweep)
+    sweep.add_argument("--axis", choices=("b_obj", "b_prc"), required=True)
+    sweep.add_argument("--values", required=True, help="comma-separated cents")
+    sweep.add_argument("--b-obj", type=float, default=4.0)
+    sweep.add_argument("--b-prc", type=float, default=2500.0)
+    sweep.add_argument("--objects", type=int, default=60)
+    sweep.add_argument("--repetitions", type=int, default=2)
+    sweep.add_argument(
+        "--algorithms", default="DisQ,SimpleDisQ,NaiveAverage",
+        help="comma-separated registry names",
+    )
+    sweep.set_defaults(handler=cmd_sweep)
+
+    coverage = commands.add_parser("coverage", help="gold-standard coverage")
+    _add_common(coverage)
+    coverage.add_argument("--b-obj", type=float, default=4.0)
+    coverage.add_argument("--b-prc", type=float, default=6000.0)
+    coverage.add_argument("--repetitions", type=int, default=3)
+    coverage.set_defaults(handler=cmd_coverage)
+
+    tune = commands.add_parser("tune", help="auto-split a total budget")
+    _add_common(tune)
+    tune.add_argument("--total", type=float, required=True, help="total cents")
+    tune.add_argument("--objects", type=int, required=True, help="database size")
+    tune.set_defaults(handler=cmd_tune)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Adaptive online evaluation: sequential stopping per object.
+
+The paper's online phase asks exactly ``b(a)`` value questions per
+attribute for every object.  Its introduction, however, motivates the
+whole problem with Wald's sequential testing ("the convergence to the
+final answer might be slow and thus require high budget") — some
+objects are simply easier than others, and a fixed per-object budget
+overpays for them.
+
+:class:`AdaptiveOnlineEvaluator` is the natural extension (Section 7
+territory): it asks each attribute's questions in small increments and
+stops an attribute early once the *formula-level* uncertainty
+contributed by its remaining questions is negligible.  The stopping
+statistic is the standard error of the plugged-in estimate,
+
+``se^2(o) = sum_a l_a^2 * VarEst(answers_a) / n_a``,
+
+compared against a tolerance expressed in target standard deviations.
+Savings are reported per object so callers can verify the budget
+actually shrank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import PreprocessingPlan
+from repro.core.statistics import variance_estimate
+from repro.crowd.platform import CrowdPlatform
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class AdaptiveEstimate:
+    """One object's adaptive evaluation outcome.
+
+    Attributes
+    ----------
+    estimates:
+        Estimated value per target.
+    questions_asked:
+        Total value questions actually asked for this object.
+    questions_planned:
+        What the fixed plan would have asked.
+    standard_error:
+        Final formula-level standard error of the estimate.
+    """
+
+    estimates: dict[str, float]
+    questions_asked: int
+    questions_planned: int
+    standard_error: float
+
+    @property
+    def savings(self) -> float:
+        """Fraction of the planned questions that were not needed."""
+        if self.questions_planned == 0:
+            return 0.0
+        return 1.0 - self.questions_asked / self.questions_planned
+
+
+class AdaptiveOnlineEvaluator:
+    """Sequential-stopping variant of the online phase.
+
+    Parameters
+    ----------
+    platform:
+        Crowd access.
+    plan:
+        A preprocessing plan (budget + linear formulas).
+    tolerance:
+        Stop once the formula-level standard error falls below
+        ``tolerance`` target standard deviations (per target; the max
+        across targets is used).  Smaller = more questions.
+    batch_size:
+        Questions bought per attribute per round.
+    min_answers:
+        Answers per attribute before its variance estimate is trusted.
+    """
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        plan: PreprocessingPlan,
+        tolerance: float = 0.25,
+        batch_size: int = 1,
+        min_answers: int = 2,
+    ) -> None:
+        if tolerance <= 0:
+            raise ConfigurationError("tolerance must be positive")
+        if batch_size < 1 or min_answers < 2:
+            raise ConfigurationError("batch_size >= 1 and min_answers >= 2 required")
+        self.platform = platform
+        self.plan = plan
+        self.tolerance = tolerance
+        self.batch_size = batch_size
+        self.min_answers = min_answers
+        # Target scales: reuse the formulas' own spread by probing the
+        # coefficients; callers can override via target_sigmas.
+        self.target_sigmas: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _formula_standard_error(self, answers: dict[str, list[float]]) -> float:
+        """Max (over targets) relative *reducible* standard error.
+
+        Only attributes with questions still left in their quota count:
+        an exhausted attribute's noise cannot be reduced by asking more,
+        so it should not block stopping (the criterion is "could further
+        questions still improve the estimate materially?").  Attributes
+        that still have quota but fewer than ``min_answers`` answers
+        force another round (their variance is not yet estimable).
+        """
+        worst = 0.0
+        for target in self.plan.query.targets:
+            formula = self.plan.formula(target)
+            variance = 0.0
+            for attribute, coefficient in formula.coefficients.items():
+                batch = answers.get(attribute, [])
+                quota = self.plan.budget[attribute]
+                if not batch or len(batch) >= quota:
+                    continue  # nothing asked / nothing left to reduce
+                if len(batch) < self.min_answers:
+                    return float("inf")
+                variance += coefficient**2 * variance_estimate(batch) / len(batch)
+            sigma = self.target_sigmas.get(target)
+            scale = sigma if sigma and sigma > 0 else 1.0
+            worst = max(worst, float(np.sqrt(variance)) / scale)
+        return worst
+
+    def _pending(self, answers: dict[str, list[float]]) -> list[str]:
+        """Attributes that still have planned questions left."""
+        return [
+            attribute
+            for attribute in self.plan.budget.attributes
+            if len(answers.get(attribute, [])) < self.plan.budget[attribute]
+        ]
+
+    def estimate_object(self, object_id: int) -> AdaptiveEstimate:
+        """Evaluate one object with early stopping."""
+        answers: dict[str, list[float]] = {a: [] for a in self.plan.budget.attributes}
+        planned = self.plan.budget.total_questions
+
+        # Seed every attribute with min_answers (or its full quota if
+        # smaller) so variance estimates exist.
+        for attribute in self.plan.budget.attributes:
+            quota = self.plan.budget[attribute]
+            seed = min(self.min_answers, quota)
+            try:
+                answers[attribute].extend(
+                    self.platform.ask_value(object_id, attribute, seed)
+                )
+            except BudgetExhaustedError:
+                break
+
+        while True:
+            if self._formula_standard_error(answers) <= self.tolerance:
+                break
+            pending = self._pending(answers)
+            if not pending:
+                break
+            # Spend the next batch where it cuts the most variance per cent.
+            def variance_cut(attribute: str) -> float:
+                formula_weight = max(
+                    abs(self.plan.formula(t).coefficients.get(attribute, 0.0))
+                    for t in self.plan.query.targets
+                )
+                batch = answers[attribute]
+                n = len(batch)
+                spread = variance_estimate(batch)
+                cut = formula_weight**2 * spread * (1 / n - 1 / (n + 1)) if n else 0.0
+                return cut / self.platform.value_price(attribute)
+
+            best = max(pending, key=variance_cut)
+            remaining = self.plan.budget[best] - len(answers[best])
+            try:
+                answers[best].extend(
+                    self.platform.ask_value(
+                        object_id, best, min(self.batch_size, remaining)
+                    )
+                )
+            except BudgetExhaustedError:
+                break
+
+        means = {
+            attribute: float(np.mean(batch))
+            for attribute, batch in answers.items()
+            if batch
+        }
+        estimates = {
+            target: self.plan.formula(target).estimate(means)
+            for target in self.plan.query.targets
+        }
+        asked = sum(len(batch) for batch in answers.values())
+        return AdaptiveEstimate(
+            estimates=estimates,
+            questions_asked=asked,
+            questions_planned=planned,
+            standard_error=self._formula_standard_error(answers),
+        )
+
+    def evaluate(self, object_ids) -> tuple[dict[str, np.ndarray], float]:
+        """Adaptive estimates for many objects plus the mean savings."""
+        object_ids = list(object_ids)
+        series: dict[str, list[float]] = {
+            target: [] for target in self.plan.query.targets
+        }
+        savings = []
+        for object_id in object_ids:
+            outcome = self.estimate_object(object_id)
+            for target in self.plan.query.targets:
+                series[target].append(outcome.estimates[target])
+            savings.append(outcome.savings)
+        return (
+            {target: np.array(values) for target, values in series.items()},
+            float(np.mean(savings)) if savings else 0.0,
+        )

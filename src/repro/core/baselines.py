@@ -1,0 +1,212 @@
+"""Every baseline algorithm of the paper's Section 5.
+
+The paper's baselines are configurations (or trivial special cases) of
+the DisQ planner, so most of this module is thin factory functions:
+
+* **NaiveAverage** (5.2) — no offline phase; ask ``B_obj`` worth of
+  questions about the targets themselves and return the average.
+* **SimpleDisQ** (5.2) — DisQ without the dismantling phase: "the best
+  that can be done today without using an expert".
+* **OnlyQueryAttributes** (5.3.1) — dismantling restricted to the
+  attributes explicitly in the query.
+* **TotallySeparated** (5.3.2) — solve each target independently with
+  an equal split of both budgets.
+* **Full** (5.3.2) — pair every discovered attribute with every target.
+  (Like all Section 5.3.2 collection variants, runs with split
+  per-target example pools — the regime Table 3 describes.)
+* **OneConnection** (5.3.2) — pair each new attribute with exactly one
+  target.
+* **NaiveEstimations** (5.3.2) — DisQ's pairing, but missing ``S_o``
+  entries filled with the global average instead of the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.disq import DisQParams, DisQPlanner, with_params
+from repro.core.model import (
+    BudgetDistribution,
+    EstimationFormula,
+    PreprocessingPlan,
+    Query,
+)
+from repro.core.pairing import PairingRule
+from repro.crowd.platform import CrowdPlatform
+from repro.errors import ConfigurationError
+
+
+class NaiveAverage:
+    """The common practice: ask directly about the query attributes.
+
+    The per-object budget is split between targets proportionally to
+    the query weights (the paper: "for |A(Q)| > 1 we split the budget
+    by the weights"), each target's share buys direct value questions,
+    and the estimate is their plain average (identity formula).  There
+    is no offline phase and no crowd cost before the online phase.
+    """
+
+    def __init__(
+        self, platform: CrowdPlatform, query: Query, b_obj_cents: float
+    ) -> None:
+        if b_obj_cents <= 0:
+            raise ConfigurationError("per-object budget must be positive")
+        self.platform = platform
+        self.query = query
+        self.b_obj_cents = float(b_obj_cents)
+
+    def preprocess(self) -> PreprocessingPlan:
+        """Produce the trivial identity plan (zero offline cost)."""
+        weights = np.array(
+            [self.query.weight(target) for target in self.query.targets]
+        )
+        shares = weights / weights.sum()
+        counts: dict[str, int] = {}
+        for target, share in zip(self.query.targets, shares):
+            price = self.platform.value_price(target)
+            counts[target] = int(share * self.b_obj_cents / price)
+        # Guarantee at least one question for the cheapest target if
+        # rounding starved everyone (tiny budgets).
+        if all(count == 0 for count in counts.values()):
+            cheapest = min(
+                self.query.targets, key=self.platform.value_price
+            )
+            if self.platform.value_price(cheapest) <= self.b_obj_cents:
+                counts[cheapest] = 1
+        budget = BudgetDistribution(counts)
+        formulas = {
+            target: EstimationFormula(
+                target=target,
+                coefficients={target: 1.0} if budget[target] > 0 else {},
+                intercept=0.0,
+                budget=budget,
+            )
+            for target in self.query.targets
+        }
+        return PreprocessingPlan(
+            query=self.query,
+            attributes=tuple(self.query.targets),
+            budget=budget,
+            formulas=formulas,
+        )
+
+
+def make_simple_disq_planner(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+) -> DisQPlanner:
+    """*SimpleDisQ*: DisQ with the attribute-dismantling phase removed."""
+    return DisQPlanner(
+        platform,
+        query,
+        b_obj_cents,
+        b_prc_cents,
+        with_params(params, dismantling=False),
+    )
+
+
+def make_only_query_attributes_planner(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+) -> DisQPlanner:
+    """*OnlyQueryAttributes*: dismantle only the query attributes."""
+    return DisQPlanner(
+        platform,
+        query,
+        b_obj_cents,
+        b_prc_cents,
+        with_params(params, candidate_policy="query_only"),
+    )
+
+
+def make_full_planner(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+) -> DisQPlanner:
+    """*Full*: gather statistics for every (attribute, target) pair."""
+    base = params if params is not None else DisQParams()
+    pairing = PairingRule(
+        factor=base.pairing.factor,
+        rho_constant=base.pairing.rho_constant,
+        mode="full",
+    )
+    return DisQPlanner(
+        platform,
+        query,
+        b_obj_cents,
+        b_prc_cents,
+        with_params(params, pairing=pairing, example_pooling="split"),
+    )
+
+
+def make_one_connection_planner(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+) -> DisQPlanner:
+    """*OneConnection*: pair each new attribute with a single target."""
+    base = params if params is not None else DisQParams()
+    pairing = PairingRule(
+        factor=base.pairing.factor,
+        rho_constant=base.pairing.rho_constant,
+        mode="one",
+    )
+    return DisQPlanner(
+        platform,
+        query,
+        b_obj_cents,
+        b_prc_cents,
+        with_params(params, pairing=pairing, example_pooling="split"),
+    )
+
+
+def make_naive_estimations_planner(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+) -> DisQPlanner:
+    """*NaiveEstimations*: average fill instead of graph completion."""
+    return DisQPlanner(
+        platform,
+        query,
+        b_obj_cents,
+        b_prc_cents,
+        with_params(params, s_o_estimator="naive", example_pooling="split"),
+    )
+
+
+def run_totally_separated(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+) -> list[PreprocessingPlan]:
+    """*TotallySeparated*: one independent single-target run per target.
+
+    Both budgets are split equally between the targets; each run is a
+    full single-target DisQ.  Returns one plan per target, to be passed
+    together to :class:`~repro.core.online.OnlineEvaluator`.
+    """
+    n = len(query.targets)
+    plans = []
+    for target in query.targets:
+        single = Query(targets=(target,), weights={target: query.weight(target)})
+        planner = DisQPlanner(
+            platform, single, b_obj_cents / n, b_prc_cents / n, params
+        )
+        plans.append(planner.preprocess())
+    return plans

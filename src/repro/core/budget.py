@@ -1,0 +1,126 @@
+"""Greedy forward selection of the online budget distribution ``b``.
+
+Finding the ``b`` maximizing expression 2 (or its weighted multi-target
+sum, expression 10) is NP-hard in ``B_obj``, so the paper adopts the
+greedy forward-selection approximation of Sabato & Kalai: starting from
+``b = 0``, repeatedly grant one more question to the attribute with the
+best marginal gain in (weighted) explained variance *per cent of cost*
+until the per-object budget is exhausted.  Dividing by cost implements
+the paper's handling of heterogeneous question prices ("divide each
+attribute's contribution by its cost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import BudgetDistribution
+from repro.core.objective import explained_variance
+from repro.errors import ConfigurationError
+
+#: Marginal gains below this are treated as zero when ranking.
+EPSILON = 1e-15
+
+
+@dataclass(frozen=True)
+class TargetObjective:
+    """Pre-assembled statistics of one target, ready for evaluation."""
+
+    weight: float
+    s_o: np.ndarray
+    s_a: np.ndarray
+    s_c: np.ndarray
+
+    def value(self, counts: np.ndarray) -> float:
+        """Weighted explained variance under question counts ``counts``."""
+        return self.weight * explained_variance(self.s_o, self.s_a, self.s_c, counts)
+
+
+def _total_value(objectives: list[TargetObjective], counts: np.ndarray) -> float:
+    return sum(objective.value(counts) for objective in objectives)
+
+
+def greedy_counts(
+    objectives: list[TargetObjective],
+    costs: np.ndarray,
+    budget_cents: float,
+) -> np.ndarray:
+    """Greedy forward selection of per-attribute question counts.
+
+    Parameters
+    ----------
+    objectives:
+        One pre-assembled objective per query target (shared attribute
+        order across all of them).
+    costs:
+        Cost in cents of one value question per attribute.
+    budget_cents:
+        The per-object online budget ``B_obj``.
+    """
+    if not objectives:
+        raise ConfigurationError("need at least one target objective")
+    n = len(costs)
+    for objective in objectives:
+        if len(objective.s_o) != n:
+            raise ConfigurationError("objective dimensions disagree with costs")
+    costs = np.asarray(costs, dtype=float)
+    if (costs <= 0).any():
+        raise ConfigurationError("question costs must be positive")
+
+    counts = np.zeros(n, dtype=int)
+    remaining = float(budget_cents)
+    current = _total_value(objectives, counts)
+    while True:
+        affordable = np.where(costs <= remaining + 1e-9)[0]
+        if affordable.size == 0:
+            break
+        best_index = -1
+        best_rate = -np.inf
+        best_value = current
+        for i in affordable:
+            trial = counts.copy()
+            trial[i] += 1
+            value = _total_value(objectives, trial)
+            rate = (value - current) / costs[i]
+            if rate > best_rate + EPSILON:
+                best_rate = rate
+                best_index = int(i)
+                best_value = value
+        if best_index < 0:
+            break
+        # Even a zero marginal gain consumes budget that cannot improve
+        # anything else either, so we stop instead of burning it.
+        if best_rate <= EPSILON and counts.sum() > 0:
+            break
+        counts[best_index] += 1
+        remaining -= costs[best_index]
+        current = best_value
+    return counts
+
+
+def find_budget_distribution(
+    objectives: list[TargetObjective],
+    attributes: list[str],
+    costs: np.ndarray,
+    budget_cents: float,
+) -> BudgetDistribution:
+    """Greedy budget distribution as a named :class:`BudgetDistribution`."""
+    counts = greedy_counts(objectives, np.asarray(costs, dtype=float), budget_cents)
+    return BudgetDistribution(
+        {attribute: int(count) for attribute, count in zip(attributes, counts)}
+    )
+
+
+def max_explained_variance(
+    objectives: list[TargetObjective],
+    costs: np.ndarray,
+    budget_cents: float,
+) -> float:
+    """Best (greedy) weighted explained variance achievable under a budget.
+
+    This is the ``max_b`` term of the paper's loss function ``L(A, u, v)``.
+    """
+    counts = greedy_counts(objectives, np.asarray(costs, dtype=float), budget_cents)
+    return _total_value(objectives, counts)

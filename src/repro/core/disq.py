@@ -1,0 +1,657 @@
+"""The DisQ preprocessing planner (Algorithm 1 + Section 4).
+
+Given a query, an online per-object budget ``B_obj`` and an offline
+preprocessing budget ``B_prc``, the planner spends ``B_prc`` on the
+crowd to produce a :class:`~repro.core.model.PreprocessingPlan`: the
+discovered attribute set ``A_final``, the online budget distribution
+``b`` and one linear estimation formula ``l`` per target.
+
+The five inter-related components of Algorithm 1 map to:
+
+========================  ============================================
+finding attributes        :class:`~repro.core.dismantling.DismantleScorer`
+collecting statistics     :class:`~repro.core.statistics.StatisticsStore`
+budget distribution       :func:`~repro.core.budget.find_budget_distribution`
+linear regression         :func:`~repro.core.regression.fit_linear_regression`
+preprocessing budget      :class:`~repro.core.stopping.PreprocessingBudgetManager`
+========================  ============================================
+
+Every baseline of Section 5 is a configuration of this planner (see
+:class:`DisQParams` and :mod:`repro.core.baselines`), which is also how
+the paper describes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.budget import TargetObjective, find_budget_distribution
+from repro.core.dismantling import DismantleScorer, probability_of_new_answer
+from repro.core.model import BudgetDistribution, PreprocessingPlan, Query
+from repro.core.pairing import NaiveMeanEstimator, PairingRule, ZeroEstimator
+from repro.core.regression import (
+    TrainingRow,
+    fit_linear_regression,
+    recommended_training_size,
+)
+from repro.core.sograph import SoGraphEstimator
+from repro.core.statistics import SoFill, StatisticsStore
+from repro.core.stopping import PreprocessingBudgetManager
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pricing import Budget
+from repro.crowd.verification import SequentialVerifier
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    PlanningError,
+    UnknownAttributeError,
+)
+
+
+@dataclass(frozen=True)
+class DisQParams:
+    """Tunable knobs of the planner; defaults follow Section 5.1.
+
+    Attributes
+    ----------
+    k:
+        Value answers per example for statistics (paper: 2).
+    n1:
+        Statistics examples per target pool (paper: 200).
+    rho_constant:
+        Prior ``E[rho(a_j, ans_j)]`` of expression 5 (paper: 0.5).
+    dismantling:
+        Disable to obtain the *SimpleDisQ* baseline.
+    candidate_policy:
+        ``"all"`` — any discovered attribute may be dismantled (DisQ);
+        ``"query_only"`` — only query attributes (the
+        *OnlyQueryAttributes* baseline).
+    pairing:
+        Target-pairing rule (Section 4); swap for the *Full* /
+        *OneConnection* baselines.
+    s_o_estimator:
+        Fill for missing ``S_o`` entries: ``"graph"`` (expr. 11),
+        ``"naive"`` (*NaiveEstimations* baseline) or ``"zero"``.
+    stop_on_nonpositive_score:
+        Also stop dismantling when the best expression-8 score is <= 0.
+    max_rounds:
+        Hard safety cap on dismantling rounds (None = budget decides).
+    verifier:
+        Sequential verification configuration.
+    training_size_cap:
+        Optional cap on ``N_2`` (None = the Green rule).
+    example_pooling:
+        ``"shared"`` — one example question supplies true values for
+        *all* query targets at once (the paper's GetExamples extension:
+        "ask for examples with multiple attribute values"), so every
+        pool holds the same objects and value answers are shared across
+        targets.  ``"split"`` — one independent example pool per target
+        (Section 4's general case, Table 3), where the pairing rule and
+        the graph estimation of missing ``S_o`` entries come into play.
+    formula_family:
+        ``"linear"`` — the paper's assembly formulas; ``"quadratic"`` —
+        degree-2 polynomial assembly (the Section 7 "more general
+        rules" extension), fit with ridge regularization.
+    min_probability_new:
+        Exhaustion floor: an attribute is no longer dismantled once
+        ``Pr(new | a_j)`` drops below this (with the paper's
+        Bernoulli-Bayes model, a floor of 0.02 means ~48 questions).
+        The expression-8 score alone never retires an attribute,
+        because its optimistic gain ignores the redundancy of answers
+        with the already-discovered set; without a floor the argmax can
+        grind thousands of questions out of one exhausted attribute.
+    """
+
+    k: int = 2
+    n1: int = 200
+    rho_constant: float = 0.5
+    dismantling: bool = True
+    candidate_policy: str = "all"
+    pairing: PairingRule = field(default_factory=PairingRule)
+    s_o_estimator: str = "graph"
+    stop_on_nonpositive_score: bool = False
+    max_rounds: int | None = None
+    verifier: SequentialVerifier = field(default_factory=SequentialVerifier)
+    training_size_cap: int | None = None
+    example_pooling: str = "shared"
+    formula_family: str = "linear"
+    min_probability_new: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.candidate_policy not in ("all", "query_only"):
+            raise ConfigurationError(
+                f"unknown candidate policy: {self.candidate_policy!r}"
+            )
+        if self.example_pooling not in ("shared", "split"):
+            raise ConfigurationError(
+                f"unknown example pooling: {self.example_pooling!r}"
+            )
+        if self.formula_family not in ("linear", "quadratic"):
+            raise ConfigurationError(
+                f"unknown formula family: {self.formula_family!r}"
+            )
+        if not 0.0 <= self.min_probability_new <= 0.5:
+            raise ConfigurationError(
+                f"min_probability_new must be in [0, 0.5]: {self.min_probability_new}"
+            )
+        if self.s_o_estimator not in ("graph", "naive", "zero"):
+            raise ConfigurationError(
+                f"unknown S_o estimator: {self.s_o_estimator!r}"
+            )
+        if self.k < 1 or self.n1 < 2:
+            raise ConfigurationError("k must be >= 1 and n1 >= 2")
+
+    def make_fill(self) -> SoFill:
+        """Instantiate the configured missing-``S_o`` estimator."""
+        if self.s_o_estimator == "graph":
+            return SoGraphEstimator()
+        if self.s_o_estimator == "naive":
+            return NaiveMeanEstimator()
+        return ZeroEstimator()
+
+
+class DisQPlanner:
+    """Runs the offline preprocessing phase for one query.
+
+    Parameters
+    ----------
+    platform:
+        Crowd access; the planner forks it with a fresh ``B_prc``
+        budget so replay cursors start at zero (one planner = one run).
+    query:
+        The query (targets + weights).
+    b_obj_cents:
+        Online per-object budget in cents.
+    b_prc_cents:
+        Offline preprocessing budget in cents.
+    params:
+        Planner configuration; defaults reproduce full DisQ.
+    """
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        query: Query,
+        b_obj_cents: float,
+        b_prc_cents: float,
+        params: DisQParams | None = None,
+    ) -> None:
+        if b_obj_cents <= 0 or b_prc_cents <= 0:
+            raise ConfigurationError("both budgets must be positive")
+        self.query = query
+        self.b_obj_cents = float(b_obj_cents)
+        self.b_prc_cents = float(b_prc_cents)
+        self.params = params if params is not None else DisQParams()
+        self.platform = platform.fork(budget=Budget(b_prc_cents))
+        self.stats = StatisticsStore(query.targets, k=self.params.k)
+        self._fill = self.params.make_fill()
+        self._scorer = DismantleScorer(rho_constant=self.params.rho_constant)
+        self._question_counts: dict[str, int] = {}
+        self._discovery_log: list[tuple[str, str, bool]] = []
+        self._rejected: set[tuple[str, str]] = set()
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def _shared_pooling(self) -> bool:
+        """Whether all targets share one example pool (same objects)."""
+        return self.params.example_pooling == "shared"
+
+    @property
+    def _n_pools(self) -> int:
+        """Number of independently-paid example pools."""
+        return 1 if self._shared_pooling else len(self.query.targets)
+
+    def preprocess(self) -> PreprocessingPlan:
+        """Run the full offline phase and return the ``(l, b)`` plan."""
+        manager = PreprocessingBudgetManager(
+            budget=self.platform.budget,
+            prices=self.platform.prices,
+            b_obj_cents=self.b_obj_cents,
+            n1=self.params.n1,
+            k=self.params.k,
+            n_targets=self._n_pools,
+            expected_verification_votes=self.params.verifier.expected_votes(True),
+        )
+        self._collect_examples()
+        self._measure_query_attributes()
+        if self.params.dismantling:
+            self._dismantle_loop(manager)
+        budget = self._find_budget_distribution()
+        formulas = self._learn_regressions(budget)
+        return PreprocessingPlan(
+            query=self.query,
+            attributes=tuple(self.stats.attributes),
+            budget=budget,
+            formulas=formulas,
+            dismantle_rounds=self._rounds,
+            preprocessing_cost=self.platform.budget.spent,
+            discovery_log=tuple(self._discovery_log),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: example pools (GetExamples)
+    # ------------------------------------------------------------------
+
+    def _collect_examples(self) -> None:
+        if self._shared_pooling:
+            # One example question yields true values for every target
+            # (the paper's GetExamples extension); all pools then hold
+            # the same objects in the same order.
+            targets = tuple(self.query.targets)
+            for _ in range(self.params.n1):
+                try:
+                    object_id, values = self.platform.ask_example(targets)
+                except BudgetExhaustedError:
+                    break
+                for target in targets:
+                    self.stats.pool(target).add_example(object_id, values[target])
+        else:
+            for target in self.query.targets:
+                pool = self.stats.pool(target)
+                for _ in range(self.params.n1):
+                    try:
+                        object_id, values = self.platform.ask_example((target,))
+                    except BudgetExhaustedError:
+                        break
+                    pool.add_example(object_id, values[target])
+        for target in self.query.targets:
+            if len(self.stats.pool(target)) < 4:
+                raise PlanningError(
+                    f"preprocessing budget too small to collect examples for "
+                    f"{target!r} (got {len(self.stats.pool(target))}, need at "
+                    f"least 4)"
+                )
+
+    # ------------------------------------------------------------------
+    # Phase 2: statistics for the query attributes themselves
+    # ------------------------------------------------------------------
+
+    def _measure_query_attributes(self) -> None:
+        # Query attributes are always informative for every target, so
+        # they are measured on every pool (they are few: |A(Q)|).
+        for attribute in self.query.targets:
+            self._add_attribute(attribute, set(self.query.targets))
+
+    def _add_attribute(self, attribute: str, paired_targets: set[str]) -> None:
+        """Register an attribute and collect its k-answer statistics.
+
+        With shared example pooling the pools hold the same objects, so
+        the answers collected once serve every target: the attribute is
+        paired with all targets and the batches are copied for free.
+        """
+        if self._shared_pooling:
+            paired_targets = set(self.query.targets)
+        self.stats.register_attribute(attribute, paired_targets)
+        self._question_counts.setdefault(attribute, 0)
+        if self._shared_pooling:
+            primary = self.query.targets[0]
+            self._measure_on_pool(attribute, primary)
+            primary_pool = self.stats.pool(primary)
+            measured = primary_pool.n_measured(attribute)
+            for target in self.query.targets[1:]:
+                pool = self.stats.pool(target)
+                start = pool.n_measured(attribute)
+                pool.record_answers(
+                    attribute,
+                    [
+                        primary_pool.batch(attribute, index)
+                        for index in range(start, measured)
+                    ],
+                )
+        else:
+            for target in paired_targets:
+                self._measure_on_pool(attribute, target)
+
+    def _measure_on_pool(self, attribute: str, target: str) -> None:
+        pool = self.stats.pool(target)
+        start = pool.n_measured(attribute)
+        batches: list[list[float]] = []
+        for index in range(start, len(pool)):
+            object_id = pool.object_ids[index]
+            try:
+                answers = self.platform.ask_value(
+                    object_id, attribute, self.params.k
+                )
+            except BudgetExhaustedError:
+                break
+            batches.append(answers)
+        pool.record_answers(attribute, batches)
+
+    # ------------------------------------------------------------------
+    # Phase 3: the dismantling loop (GetNextAttribute + UpdateStatistics)
+    # ------------------------------------------------------------------
+
+    def _candidates(self) -> list[str]:
+        if self.params.candidate_policy == "query_only":
+            names = [a for a in self.stats.attributes if a in self.query.targets]
+        else:
+            names = list(self.stats.attributes)
+        return [
+            attribute
+            for attribute in names
+            if probability_of_new_answer(self._question_counts.get(attribute, 0))
+            >= self.params.min_probability_new
+        ]
+
+    def _expected_pools(self) -> float:
+        if self._shared_pooling:
+            return 1.0
+        n = len(self.query.targets)
+        return (1.0 + n) / 2.0
+
+    def _dismantle_loop(self, manager: PreprocessingBudgetManager) -> None:
+        # The gain and loss terms of the expression-8/9 score depend only
+        # on the statistics, which change only when a new attribute is
+        # accepted; Pr(new | a_j) changes every round.  Caching gain/loss
+        # between non-discovering rounds keeps each such round O(|A|).
+        cached_gains: dict[str, float] | None = None
+        cached_loss = 0.0
+        while True:
+            if (
+                self.params.max_rounds is not None
+                and self._rounds >= self.params.max_rounds
+            ):
+                break
+            if not manager.should_continue(
+                len(self.stats.attributes), self._expected_pools()
+            ):
+                break
+            candidates = self._candidates()
+            if not candidates:
+                break
+            if cached_gains is None:
+                objectives, costs = self._objectives(self.stats.attributes)
+                cached_loss = self._scorer.loss(
+                    objectives,
+                    costs,
+                    self.b_obj_cents,
+                    self.platform.prices.numeric_value,
+                )
+                cached_gains = {
+                    attribute: sum(
+                        self.query.weight(target)
+                        * self._scorer.gain(self.stats, target, attribute, self._fill)
+                        for target in self.query.targets
+                    )
+                    for attribute in candidates
+                }
+            gains = cached_gains
+            loss = cached_loss
+
+            def ranking(attribute: str) -> tuple[int, float]:
+                probability = probability_of_new_answer(
+                    self._question_counts.get(attribute, 0)
+                )
+                gain = gains.get(attribute, 0.0)
+                score = probability * (gain - loss)
+                if score > 0:
+                    return (1, score)
+                # All-negative regime: rank by expected information
+                # instead (see CandidateScore.ranking for the rationale).
+                return (0, probability * gain)
+
+            best_attribute = max(candidates, key=ranking)
+            if self.params.stop_on_nonpositive_score:
+                positive, _ = ranking(best_attribute)
+                if not positive:
+                    break
+            before = len(self.stats.attributes)
+            if not self._dismantle_round(best_attribute):
+                break
+            if len(self.stats.attributes) != before:
+                cached_gains = None
+
+    def _dismantle_round(self, attribute: str) -> bool:
+        """One dismantling question (+ verification + statistics).
+
+        Returns False when the budget died mid-round.
+        """
+        try:
+            answer = self.platform.ask_dismantle(attribute)
+        except BudgetExhaustedError:
+            return False
+        self._question_counts[attribute] = (
+            self._question_counts.get(attribute, 0) + 1
+        )
+        self._rounds += 1
+
+        is_new = (
+            answer != attribute
+            and answer not in self.stats.attributes
+            and (attribute, answer) not in self._rejected
+            and self.platform.knows(answer)
+        )
+        accepted = False
+        if is_new:
+            try:
+                verdict = self.platform.verify_candidate(
+                    attribute, answer, self.params.verifier
+                )
+            except BudgetExhaustedError:
+                self._discovery_log.append((attribute, answer, False))
+                return False
+            if not verdict.accepted:
+                # Remember the refusal: re-verifying the same suggestion
+                # would replay the same votes and waste budget.
+                self._rejected.add((attribute, answer))
+            if verdict.accepted:
+                paired = self.params.pairing.targets_for(
+                    self.stats, parent=attribute, candidate=answer
+                )
+                try:
+                    self._add_attribute(answer, paired)
+                    accepted = True
+                except BudgetExhaustedError:
+                    accepted = True  # registered; partial statistics kept
+                    self._discovery_log.append((attribute, answer, accepted))
+                    return False
+        self._discovery_log.append((attribute, answer, accepted))
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 4: the online budget distribution (FindQuestionsDistribution)
+    # ------------------------------------------------------------------
+
+    def _objectives(
+        self, attributes: list[str]
+    ) -> tuple[list[TargetObjective], np.ndarray]:
+        objectives = []
+        for target in self.query.targets:
+            s_o, s_a, s_c = self.stats.assemble(attributes, target, self._fill)
+            objectives.append(
+                TargetObjective(
+                    weight=self.query.weight(target), s_o=s_o, s_a=s_a, s_c=s_c
+                )
+            )
+        costs = np.array([self._value_price(a) for a in attributes], dtype=float)
+        return objectives, costs
+
+    def _value_price(self, attribute: str) -> float:
+        try:
+            return self.platform.value_price(attribute)
+        except UnknownAttributeError:
+            return self.platform.prices.numeric_value
+
+    def _find_budget_distribution(self) -> BudgetDistribution:
+        attributes = list(self.stats.attributes)
+        if not attributes:
+            return BudgetDistribution({})
+        objectives, costs = self._objectives(attributes)
+        return find_budget_distribution(
+            objectives, attributes, costs, self.b_obj_cents
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 5: the regression training set and fit (FindRegression)
+    # ------------------------------------------------------------------
+
+    def _training_size(self, budget: BudgetDistribution) -> int:
+        n2 = recommended_training_size(len(budget.attributes))
+        if self.params.training_size_cap is not None:
+            n2 = min(n2, self.params.training_size_cap)
+        return n2
+
+    def _learn_regressions(self, budget: BudgetDistribution) -> dict:
+        formulas = {}
+        n2 = self._training_size(budget)
+        if self._shared_pooling and len(self.query.targets) > 1:
+            rows_by_target = self._shared_training_rows(budget, n2)
+        else:
+            rows_by_target = None
+        for target in self.query.targets:
+            if rows_by_target is not None:
+                rows = rows_by_target[target]
+            else:
+                rows = self._training_rows(target, budget, n2)
+            # An under-determined fit (fewer rows than features) returns
+            # the minimum-norm solution, which extrapolates wildly on
+            # fresh objects; a starving budget degrades to the constant
+            # predictor instead.
+            if len(rows) >= len(budget.attributes) + 2:
+                if self.params.formula_family == "quadratic":
+                    from repro.core.nonlinear import fit_quadratic_regression
+
+                    formulas[target] = fit_quadratic_regression(
+                        target, rows, budget
+                    )
+                else:
+                    formulas[target] = fit_linear_regression(target, rows, budget)
+            else:
+                # Budget died before any training row: constant fallback
+                # from the example pool (never leaves the online phase
+                # without *some* estimator).
+                pool_values = self.stats.pool(target).target_array()
+                formulas[target] = fit_linear_regression(
+                    target,
+                    [({}, float(v)) for v in pool_values] or [({}, 0.0)],
+                    BudgetDistribution({}),
+                )
+        return formulas
+
+    def _shared_training_rows(
+        self, budget: BudgetDistribution, n2: int
+    ) -> dict[str, list[TrainingRow]]:
+        """Training rows in shared-pool mode: one feature vector per
+        example serves every target's regression (the answers are about
+        the same object), so value questions are paid once."""
+        rows_by_target: dict[str, list[TrainingRow]] = {
+            target: [] for target in self.query.targets
+        }
+        primary = self.query.targets[0]
+        pool = self.stats.pool(primary)
+        support = budget.attributes
+
+        for index in range(min(len(pool), n2)):
+            object_id = pool.object_ids[index]
+            means: dict[str, float] = {}
+            try:
+                for attribute in support:
+                    means[attribute] = self._answer_mean(
+                        pool, index, object_id, attribute, budget[attribute]
+                    )
+            except BudgetExhaustedError:
+                return rows_by_target
+            for target in self.query.targets:
+                label = self.stats.pool(target).target_values[index]
+                rows_by_target[target].append((means, label))
+
+        while len(rows_by_target[primary]) < n2:
+            try:
+                object_id, values = self.platform.ask_example(
+                    tuple(self.query.targets)
+                )
+                means = {
+                    attribute: float(
+                        np.mean(
+                            self.platform.ask_value(
+                                object_id, attribute, budget[attribute]
+                            )
+                        )
+                    )
+                    for attribute in support
+                }
+            except BudgetExhaustedError:
+                break
+            for target in self.query.targets:
+                rows_by_target[target].append((means, values[target]))
+        return rows_by_target
+
+    def _training_rows(
+        self, target: str, budget: BudgetDistribution, n2: int
+    ) -> list[TrainingRow]:
+        """Assemble training rows mirroring the online phase.
+
+        The first ``N_1`` examples reuse their ``k`` statistics answers
+        (only ``b(a) - k`` extra answers are bought); further examples
+        are freshly collected with full ``b(a)`` answers, exactly as in
+        Section 3.1 / Table 1b.
+        """
+        pool = self.stats.pool(target)
+        rows: list[TrainingRow] = []
+        support = budget.attributes
+
+        for index in range(min(len(pool), n2)):
+            object_id = pool.object_ids[index]
+            means: dict[str, float] = {}
+            try:
+                for attribute in support:
+                    means[attribute] = self._answer_mean(
+                        pool, index, object_id, attribute, budget[attribute]
+                    )
+            except BudgetExhaustedError:
+                return rows
+            rows.append((means, pool.target_values[index]))
+
+        while len(rows) < n2:
+            try:
+                object_id, values = self.platform.ask_example((target,))
+                means = {
+                    attribute: float(
+                        np.mean(
+                            self.platform.ask_value(
+                                object_id, attribute, budget[attribute]
+                            )
+                        )
+                    )
+                    for attribute in support
+                }
+            except BudgetExhaustedError:
+                break
+            rows.append((means, values[target]))
+        return rows
+
+    def _answer_mean(
+        self,
+        pool,
+        index: int,
+        object_id: int,
+        attribute: str,
+        wanted: int,
+    ) -> float:
+        """Mean of exactly ``wanted`` answers, reusing recorded ones."""
+        existing: list[float] = []
+        if pool.n_measured(attribute) > index:
+            existing = pool.batch(attribute, index)
+        if len(existing) >= wanted:
+            return float(np.mean(existing[:wanted]))
+        extra = self.platform.ask_value(
+            object_id, attribute, wanted - len(existing)
+        )
+        combined = existing + list(extra)
+        if not combined:
+            raise PlanningError(
+                f"no answers available for {attribute!r} on object {object_id}"
+            )
+        return float(np.mean(combined))
+
+
+def with_params(planner_params: DisQParams | None, **overrides) -> DisQParams:
+    """Copy params (or defaults) with field overrides (baseline helper)."""
+    base = planner_params if planner_params is not None else DisQParams()
+    return replace(base, **overrides)

@@ -1,0 +1,146 @@
+"""Alternative error measures (the paper's Section 7 future work).
+
+The paper minimizes expected mean squared error and remarks that "a
+recall-precision measurement may fit more for boolean query attributes
+like gluten_free, or for a categorical attribute like cousin_type".
+This module provides exactly those measures:
+
+* precision / recall / F1 of thresholded boolean estimates;
+* a categorical wrapper that models a multi-value attribute as one
+  boolean attribute per value (the paper's own modelling advice in
+  Section 2) and scores argmax classification accuracy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.domains.base import Domain
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Precision/recall-style scores for one boolean target."""
+
+    target: str
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    positives_true: int
+    positives_predicted: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.target} @ {self.threshold:g}: "
+            f"P={self.precision:.2f} R={self.recall:.2f} "
+            f"F1={self.f1:.2f} acc={self.accuracy:.2f}"
+        )
+
+
+def boolean_report(
+    domain: Domain,
+    estimates: np.ndarray,
+    object_ids: Sequence[int],
+    target: str,
+    threshold: float = 0.5,
+) -> ClassificationReport:
+    """Score thresholded estimates of a boolean attribute.
+
+    Ground truth is the domain's true value thresholded at the same
+    point (boolean attributes live in ``[0, 1]``).
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.shape != (len(object_ids),):
+        raise ConfigurationError("estimates misaligned with object ids")
+    truth = np.array(
+        [domain.true_value(oid, target) >= threshold for oid in object_ids]
+    )
+    predicted = estimates >= threshold
+    true_positive = int(np.sum(predicted & truth))
+    precision = true_positive / max(int(predicted.sum()), 1)
+    recall = true_positive / max(int(truth.sum()), 1)
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    accuracy = float(np.mean(predicted == truth))
+    return ClassificationReport(
+        target=target,
+        threshold=threshold,
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=accuracy,
+        positives_true=int(truth.sum()),
+        positives_predicted=int(predicted.sum()),
+    )
+
+
+def precision_recall_curve(
+    domain: Domain,
+    estimates: np.ndarray,
+    object_ids: Sequence[int],
+    target: str,
+    thresholds: Sequence[float] = tuple(np.linspace(0.1, 0.9, 9)),
+    truth_threshold: float = 0.5,
+) -> list[ClassificationReport]:
+    """Reports across a sweep of decision thresholds.
+
+    Ground truth stays fixed at ``truth_threshold``; only the decision
+    threshold on the estimates moves.
+    """
+    estimates = np.asarray(estimates, dtype=float)
+    truth = np.array(
+        [domain.true_value(oid, target) >= truth_threshold for oid in object_ids]
+    )
+    reports = []
+    for threshold in thresholds:
+        predicted = estimates >= threshold
+        true_positive = int(np.sum(predicted & truth))
+        precision = true_positive / max(int(predicted.sum()), 1)
+        recall = true_positive / max(int(truth.sum()), 1)
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        reports.append(
+            ClassificationReport(
+                target=target,
+                threshold=float(threshold),
+                precision=precision,
+                recall=recall,
+                f1=f1,
+                accuracy=float(np.mean(predicted == truth)),
+                positives_true=int(truth.sum()),
+                positives_predicted=int(predicted.sum()),
+            )
+        )
+    return reports
+
+
+def categorical_accuracy(
+    estimates_by_value: dict[str, np.ndarray],
+    true_labels: Sequence[str],
+) -> float:
+    """Argmax accuracy for a categorical attribute.
+
+    The paper models a multi-value attribute as one boolean attribute
+    per value; given the per-value estimate vectors (aligned with the
+    labelled objects), the predicted category is the argmax.
+    """
+    if not estimates_by_value:
+        raise ConfigurationError("need at least one category")
+    values = list(estimates_by_value)
+    matrix = np.stack([np.asarray(estimates_by_value[v], dtype=float) for v in values])
+    if matrix.shape[1] != len(true_labels):
+        raise ConfigurationError("estimates misaligned with labels")
+    predicted = [values[int(i)] for i in np.argmax(matrix, axis=0)]
+    return float(np.mean([p == t for p, t in zip(predicted, true_labels)]))

@@ -1,0 +1,149 @@
+"""Non-linear assembly formulas (the paper's Section 7 future work).
+
+The paper assembles attribute estimates with linear formulas and notes
+that "more general rules may be useful in certain situations".  This
+module provides the natural first step: degree-2 polynomial formulas
+(squares and pairwise interactions of the budgeted attributes), fit
+with ridge-regularized least squares so the quadratic feature explosion
+stays stable at the paper's training sizes.
+
+A :class:`QuadraticFormula` quacks like
+:class:`~repro.core.model.EstimationFormula` (``estimate``, ``budget``,
+``target``), so plans carrying quadratic formulas drop into the online
+evaluator unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from repro.core.model import BudgetDistribution
+from repro.core.regression import TrainingRow
+from repro.errors import ConfigurationError
+
+
+def quadratic_feature_names(attributes: tuple[str, ...]) -> list[tuple[str, ...]]:
+    """Feature index: linear terms then degree-2 monomials, in order."""
+    features: list[tuple[str, ...]] = [(a,) for a in attributes]
+    features.extend(combinations_with_replacement(attributes, 2))
+    return features
+
+
+def _feature_value(monomial: tuple[str, ...], means: dict[str, float]) -> float | None:
+    value = 1.0
+    for attribute in monomial:
+        if attribute not in means:
+            return None
+        value *= means[attribute]
+    return value
+
+
+@dataclass(frozen=True)
+class QuadraticFormula:
+    """A degree-2 estimator for one target attribute.
+
+    ``coefficients`` maps monomials (1- or 2-tuples of attribute names)
+    to weights; ``estimate`` evaluates the polynomial on averaged crowd
+    answers, dropping monomials whose attributes are missing (the same
+    graceful degradation as the linear formula).
+    """
+
+    target: str
+    coefficients: dict[tuple[str, ...], float]
+    intercept: float
+    budget: BudgetDistribution
+    #: Feature standardization learned at fit time (mean, scale) per
+    #: monomial; keeps ridge shrinkage comparable across features.
+    scaling: dict[tuple[str, ...], tuple[float, float]] = field(default_factory=dict)
+
+    def estimate(self, attribute_means: dict[str, float]) -> float:
+        value = self.intercept
+        for monomial, coefficient in self.coefficients.items():
+            raw = _feature_value(monomial, attribute_means)
+            if raw is None:
+                continue
+            mean, scale = self.scaling.get(monomial, (0.0, 1.0))
+            value += coefficient * (raw - mean) / scale
+        return value
+
+    def __str__(self) -> str:
+        terms = []
+        for monomial, coefficient in self.coefficients.items():
+            label = "*".join(
+                f"{a}^({self.budget[a]})" for a in monomial
+            )
+            terms.append(f"{coefficient:+.3g}*{label}")
+        terms.append(f"{self.intercept:+.3g}")
+        return f"{self.target}^(*) = " + " ".join(terms)
+
+
+def fit_quadratic_regression(
+    target: str,
+    rows: list[TrainingRow],
+    budget: BudgetDistribution,
+    ridge: float = 1.0,
+) -> QuadraticFormula:
+    """Ridge-regularized degree-2 fit over the budget's support.
+
+    Parameters
+    ----------
+    target, rows, budget:
+        As in :func:`~repro.core.regression.fit_linear_regression`.
+    ridge:
+        L2 penalty on the standardized coefficients (the intercept is
+        unpenalized).  1.0 is a sturdy default at ``N_2 ~ 100``.
+    """
+    if not rows:
+        raise ConfigurationError(f"no training rows for target {target!r}")
+    if ridge < 0:
+        raise ConfigurationError(f"ridge must be non-negative: {ridge}")
+    attributes = tuple(budget.attributes)
+    features = quadratic_feature_names(attributes)
+    if not features:
+        labels = np.array([label for _, label in rows], dtype=float)
+        return QuadraticFormula(
+            target=target,
+            coefficients={},
+            intercept=float(labels.mean()),
+            budget=budget,
+        )
+
+    design = np.empty((len(rows), len(features)), dtype=float)
+    labels = np.empty(len(rows), dtype=float)
+    for row_index, (means, label) in enumerate(rows):
+        labels[row_index] = label
+        for column, monomial in enumerate(features):
+            raw = _feature_value(monomial, means)
+            if raw is None:
+                raise ConfigurationError(
+                    f"training row {row_index} lacks attributes for {monomial}"
+                )
+            design[row_index, column] = raw
+
+    # Standardize features; ridge then shrinks them comparably.
+    means_ = design.mean(axis=0)
+    scales = design.std(axis=0)
+    scales[scales == 0] = 1.0
+    standardized = (design - means_) / scales
+    centered_labels = labels - labels.mean()
+
+    gram = standardized.T @ standardized + ridge * np.eye(len(features))
+    solution = np.linalg.solve(gram, standardized.T @ centered_labels)
+
+    coefficients = {
+        monomial: float(weight) for monomial, weight in zip(features, solution)
+    }
+    scaling = {
+        monomial: (float(mu), float(sc))
+        for monomial, mu, sc in zip(features, means_, scales)
+    }
+    return QuadraticFormula(
+        target=target,
+        coefficients=coefficients,
+        intercept=float(labels.mean()),
+        budget=budget,
+        scaling=scaling,
+    )

@@ -1,0 +1,69 @@
+"""The explained-variance objective and error formula (expression 2).
+
+From Sabato & Kalai (ICML 2013), which the paper builds on: applying
+the best linear regression to a table whose attribute ``a`` is the
+average of ``b(a)`` crowd answers yields mean squared error
+
+``Err = Var(a_t) - S_o^T (S_a + Diag(S_c(a)/b(a)))^{-1} S_o``.
+
+The second term, the *explained variance* ``V(b)``, is what the budget
+distribution maximizes; only attributes with ``b(a) > 0`` participate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Ridge added to the feature covariance when it is numerically singular.
+RIDGE = 1e-10
+
+
+def explained_variance(
+    s_o: np.ndarray,
+    s_a: np.ndarray,
+    s_c: np.ndarray,
+    counts: np.ndarray,
+) -> float:
+    """``V(b) = S_o^T (S_a + Diag(S_c/b))^{-1} S_o`` over the support of ``b``.
+
+    Parameters
+    ----------
+    s_o, s_a, s_c:
+        The statistics trio over an attribute list (vectors/matrix).
+    counts:
+        Question counts ``b(a)`` aligned with the attribute list;
+        attributes with 0 questions are excluded from the estimator.
+    """
+    counts = np.asarray(counts, dtype=float)
+    support = counts > 0
+    if not support.any():
+        return 0.0
+    so = np.asarray(s_o, dtype=float)[support]
+    sa = np.asarray(s_a, dtype=float)[np.ix_(support, support)]
+    noise = np.asarray(s_c, dtype=float)[support] / counts[support]
+    matrix = sa + np.diag(noise)
+    try:
+        solution = np.linalg.solve(matrix, so)
+    except np.linalg.LinAlgError:
+        scale = max(float(np.trace(matrix)) / max(len(so), 1), 1.0)
+        solution = np.linalg.solve(matrix + RIDGE * scale * np.eye(len(so)), so)
+    value = float(so @ solution)
+    # V is a quadratic form of a PSD-plus-noise matrix; tiny negative
+    # values are numerical artefacts of near-singular S_a estimates.
+    return max(value, 0.0)
+
+
+def estimation_error(
+    target_variance: float,
+    s_o: np.ndarray,
+    s_a: np.ndarray,
+    s_c: np.ndarray,
+    counts: np.ndarray,
+) -> float:
+    """Predicted MSE of the best linear estimator under budget ``counts``.
+
+    Clipped at 0: the linear model cannot do better than zero error,
+    and sampling noise in the statistics can push the difference
+    slightly negative.
+    """
+    return max(target_variance - explained_variance(s_o, s_a, s_c, counts), 0.0)

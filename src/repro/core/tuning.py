@@ -1,0 +1,128 @@
+"""Automatic offline/online budget splitting (Section 7 future work).
+
+The paper assumes the user hands over both budgets and closes with:
+"Determining automatically what these budgets should be and the ideal
+ratio between them is an intriguing future research."  This module
+implements the straightforward empirical answer: given one *total*
+budget for a query over ``n_objects`` database objects, pilot a small
+grid of ``(B_prc, B_obj)`` splits on held-out objects and return the
+split with the lowest measured error.
+
+The pilot runs are measured on the simulator (or, in a real deployment,
+on a sample of objects with known ground truth) and share recorded
+answers across splits for a fair comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.disq import DisQParams, DisQPlanner
+from repro.core.model import Query
+from repro.core.online import OnlineEvaluator, query_error
+from repro.crowd.platform import CrowdPlatform
+from repro.domains.base import Domain
+from repro.errors import ConfigurationError, PlanningError
+
+
+@dataclass(frozen=True)
+class BudgetSplit:
+    """One candidate division of the total budget.
+
+    Attributes
+    ----------
+    b_obj_cents:
+        Per-object online budget.
+    b_prc_cents:
+        Preprocessing budget (what remains of the total after paying
+        the online phase for every object).
+    pilot_error:
+        Measured query error of the pilot run (NaN before evaluation).
+    """
+
+    b_obj_cents: float
+    b_prc_cents: float
+    pilot_error: float = float("nan")
+
+
+def candidate_splits(
+    total_cents: float, n_objects: int, b_obj_grid: tuple[float, ...]
+) -> list[BudgetSplit]:
+    """Feasible splits: each grid B_obj whose online bill leaves a
+    usable preprocessing budget."""
+    if total_cents <= 0 or n_objects <= 0:
+        raise ConfigurationError("total budget and object count must be positive")
+    splits = []
+    for b_obj in b_obj_grid:
+        online_bill = b_obj * n_objects
+        b_prc = total_cents - online_bill
+        if b_prc > 0:
+            splits.append(BudgetSplit(b_obj_cents=b_obj, b_prc_cents=b_prc))
+    if not splits:
+        raise ConfigurationError(
+            f"no grid point leaves preprocessing budget "
+            f"(total {total_cents}c for {n_objects} objects)"
+        )
+    return splits
+
+
+def optimize_budget_split(
+    platform: CrowdPlatform,
+    domain: Domain,
+    query: Query,
+    total_cents: float,
+    n_objects: int,
+    params: DisQParams | None = None,
+    b_obj_grid: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 7.0),
+    pilot_objects: int = 40,
+    repetitions: int = 2,
+) -> tuple[BudgetSplit, list[BudgetSplit]]:
+    """Pick the best (B_prc, B_obj) split by piloting each candidate.
+
+    Returns the winning split and the full evaluated grid.  Pilot costs
+    are *not* charged against the total (in a deployment they come out
+    of a separate tuning allowance; the simulator reuses recorded
+    answers across splits anyway).
+    """
+    params = params if params is not None else DisQParams(n1=60)
+    splits = candidate_splits(total_cents, n_objects, b_obj_grid)
+    evaluated: list[BudgetSplit] = []
+    object_ids = range(min(pilot_objects, domain.n_objects()))
+    for split in splits:
+        errors = []
+        for seed in range(repetitions):
+            pilot_platform = CrowdPlatform(
+                domain,
+                pool=platform.pool,
+                prices=platform.prices,
+                recorder=platform.recorder,
+                seed=seed,
+            )
+            try:
+                plan = DisQPlanner(
+                    pilot_platform,
+                    query,
+                    split.b_obj_cents,
+                    split.b_prc_cents,
+                    params,
+                ).preprocess()
+            except PlanningError:
+                continue
+            estimates = OnlineEvaluator(pilot_platform.fork(), plan).evaluate(
+                object_ids
+            )
+            errors.append(query_error(domain, estimates, object_ids, query))
+        pilot_error = float(np.mean(errors)) if errors else float("inf")
+        evaluated.append(
+            BudgetSplit(
+                b_obj_cents=split.b_obj_cents,
+                b_prc_cents=split.b_prc_cents,
+                pilot_error=pilot_error,
+            )
+        )
+    best = min(evaluated, key=lambda split: split.pilot_error)
+    if not np.isfinite(best.pilot_error):
+        raise PlanningError("every candidate split was infeasible")
+    return best, evaluated

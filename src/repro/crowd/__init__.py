@@ -1,0 +1,63 @@
+"""Crowd platform simulation substrate.
+
+The paper ran its experiments against CrowdFlower workers and recorded
+their answers in a database so that different algorithms could be
+compared on identical data.  This subpackage is the stand-in for that
+platform: a stochastic worker pool answering the paper's four question
+types (value, dismantling, verification, example), a price schedule and
+budget ledger matching Section 5.1, an answer recorder for
+replay-across-algorithms, a spam filter, a sequential verification
+decision procedure, and an attribute-name normalizer.
+"""
+
+from repro.crowd.questions import (
+    DismantlingQuestion,
+    ExampleQuestion,
+    Question,
+    ValueQuestion,
+    VerificationQuestion,
+)
+from repro.crowd.pricing import Budget, CostLedger, PriceSchedule
+from repro.crowd.worker import BiasedWorker, HonestWorker, SpamWorker, Worker
+from repro.crowd.pool import WorkerPool
+from repro.crowd.recording import AnswerRecorder
+from repro.crowd.quality import (
+    GoldQuestionScreen,
+    ReputationTracker,
+    ScreenedPool,
+)
+from repro.crowd.spam import AgreementSpamFilter, SpamFilter, ZScoreSpamFilter
+from repro.crowd.verification import SequentialVerifier, VerificationResult
+from repro.crowd.normalization import (
+    AttributeNormalizer,
+    NormalizationMode,
+)
+from repro.crowd.platform import CrowdPlatform
+
+__all__ = [
+    "AgreementSpamFilter",
+    "AnswerRecorder",
+    "AttributeNormalizer",
+    "BiasedWorker",
+    "Budget",
+    "CostLedger",
+    "CrowdPlatform",
+    "DismantlingQuestion",
+    "ExampleQuestion",
+    "GoldQuestionScreen",
+    "HonestWorker",
+    "NormalizationMode",
+    "PriceSchedule",
+    "Question",
+    "ReputationTracker",
+    "ScreenedPool",
+    "SequentialVerifier",
+    "SpamFilter",
+    "SpamWorker",
+    "ValueQuestion",
+    "VerificationQuestion",
+    "VerificationResult",
+    "Worker",
+    "WorkerPool",
+    "ZScoreSpamFilter",
+]

@@ -1,0 +1,88 @@
+"""Attribute-name normalization.
+
+The paper assumes that dismantling answers referring to the same
+property (*large*, *big*, *grand*) "can be reasonably identified and
+merged to a single representative", e.g. with a thesaurus or NLP tools,
+and shows in Section 5.4 that the algorithm survives imperfect or even
+absent merging (at a somewhat higher preprocessing budget).
+
+:class:`AttributeNormalizer` is that merging step.  It is built from a
+domain's synonym map and supports three modes:
+
+* ``PERFECT`` — every known surface form maps to its canonical name;
+* ``IMPERFECT`` — each merge independently fails with a configurable
+  probability (the surface form leaks through as a distinct attribute);
+* ``NONE`` — no merging at all.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.domains.base import Domain
+from repro.errors import ConfigurationError
+
+
+class NormalizationMode(enum.Enum):
+    """How aggressively synonym surface forms are merged."""
+
+    PERFECT = "perfect"
+    IMPERFECT = "imperfect"
+    NONE = "none"
+
+
+class AttributeNormalizer:
+    """Maps worker-phrased attribute names to canonical ones.
+
+    Parameters
+    ----------
+    domain:
+        Source of the synonym map (``domain.synonyms(a)`` per attribute).
+    mode:
+        Merging behaviour, see :class:`NormalizationMode`.
+    failure_rate:
+        In ``IMPERFECT`` mode, the probability that a given surface
+        form is (permanently) not recognised.  Failures are decided
+        once per surface form so behaviour is stable within a run.
+    seed:
+        RNG seed for the imperfect-mode failure draws.
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        mode: NormalizationMode = NormalizationMode.PERFECT,
+        failure_rate: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ConfigurationError(f"failure_rate must be in [0, 1]: {failure_rate}")
+        self.mode = mode
+        self.failure_rate = failure_rate
+        self._canonical: dict[str, str] = {}
+        rng = np.random.default_rng(seed)
+        for attribute in domain.attributes():
+            for form in domain.synonyms(attribute):
+                if mode is NormalizationMode.NONE:
+                    continue
+                if (
+                    mode is NormalizationMode.IMPERFECT
+                    and rng.random() < failure_rate
+                ):
+                    continue
+                self._canonical[form] = attribute
+
+    def normalize(self, name: str) -> str:
+        """Canonical attribute name for a worker-phrased ``name``.
+
+        Unknown names pass through unchanged — from the algorithm's
+        point of view they are simply new attributes, which is exactly
+        how the paper's no-unification robustness variant behaves.
+        """
+        return self._canonical.get(name, name)
+
+    def known_forms(self) -> frozenset[str]:
+        """All surface forms this normalizer will rewrite."""
+        return frozenset(self._canonical)

@@ -1,0 +1,247 @@
+"""The crowd platform facade.
+
+:class:`CrowdPlatform` is the single entry point algorithms use to talk
+to the (simulated) crowd.  It routes each question to a freshly drawn
+worker, prices and charges it, records the answer for replay, applies
+the spam filter to value-answer batches, and runs attribute-name
+normalization on dismantling answers.
+
+Replay semantics: the platform holds per-question-key cursors into a
+shared :class:`~repro.crowd.recording.AnswerRecorder`.  A *new*
+platform instance over the same recorder starts with fresh cursors and
+therefore replays the identical answer stream — this is how different
+algorithms are compared "in equivalent settings" as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crowd.normalization import AttributeNormalizer
+from repro.crowd.pool import WorkerPool
+from repro.crowd.pricing import Budget, CostLedger, PriceSchedule
+from repro.crowd.recording import AnswerRecorder, ExampleRecord
+from repro.crowd.spam import SpamFilter
+from repro.crowd.verification import SequentialVerifier, VerificationResult
+from repro.domains.base import Domain
+from repro.errors import UnknownAttributeError
+
+
+class CrowdPlatform:
+    """Simulated crowdsourcing platform over one ground-truth domain.
+
+    Parameters
+    ----------
+    domain:
+        The ground truth the workers answer about.
+    pool:
+        Worker population; defaults to 200 honest workers.
+    prices:
+        Price schedule; defaults to the paper's Section 5.1 prices.
+    budget:
+        Optional hard spending ceiling; ``None`` means unmetered (the
+        ledger still records all costs).
+    recorder:
+        Shared answer store for replay across platform instances.
+    spam_filter:
+        Optional filter applied to each value-answer batch.
+    normalizer:
+        Attribute-name merger applied to dismantling answers.  Defaults
+        to perfect merging (the paper's thesaurus assumption); pass an
+        imperfect/disabled normalizer for the Section 5.4 robustness
+        experiments.
+    seed:
+        Seed for the platform's own randomness (worker draws already
+        have their own streams via the pool).
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        pool: WorkerPool | None = None,
+        prices: PriceSchedule | None = None,
+        budget: Budget | None = None,
+        recorder: AnswerRecorder | None = None,
+        spam_filter: SpamFilter | None = None,
+        normalizer: AttributeNormalizer | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.domain = domain
+        self.pool = pool if pool is not None else WorkerPool(seed=seed)
+        self.prices = prices if prices is not None else PriceSchedule()
+        self.budget = budget
+        self.recorder = recorder if recorder is not None else AnswerRecorder()
+        self.spam_filter = spam_filter
+        self.normalizer = (
+            normalizer if normalizer is not None else AttributeNormalizer(domain)
+        )
+        self.ledger = CostLedger()
+        self._rng = np.random.default_rng(seed)
+
+        # Surface form -> canonical resolution for ground-truth lookups.
+        # This is intentionally independent of the (possibly imperfect)
+        # normalizer: a worker who says "big" still *means* "large" even
+        # if the algorithm fails to merge the two names.
+        self._surface_to_canonical: dict[str, str] = {}
+        for attribute in domain.attributes():
+            for form in domain.synonyms(attribute):
+                self._surface_to_canonical[form] = attribute
+
+        # Replay cursors, one per question key, private to this instance.
+        self._value_cursor: dict[tuple[int, str], int] = {}
+        self._dismantle_cursor: dict[str, int] = {}
+        self._vote_cursor: dict[tuple[str, str], int] = {}
+        self._example_cursor: dict[tuple[str, ...], int] = {}
+
+    # ------------------------------------------------------------------
+    # Name handling and pricing
+    # ------------------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """Canonical domain attribute behind an algorithm-visible name."""
+        canonical = self._surface_to_canonical.get(name, name)
+        if canonical not in self.domain.attributes():
+            raise UnknownAttributeError(name)
+        return canonical
+
+    def knows(self, name: str) -> bool:
+        """True if ``name`` denotes some domain attribute (or synonym)."""
+        return (
+            name in self._surface_to_canonical or name in self.domain.attributes()
+        )
+
+    def is_binary(self, name: str) -> bool:
+        """Whether the named attribute is boolean-like (affects pricing)."""
+        return self.domain.is_binary(self.resolve(name))
+
+    def value_price(self, name: str) -> float:
+        """Cost in cents of one value question about ``name``."""
+        return self.prices.value_price(self.is_binary(name))
+
+    def _charge(self, category: str, cost: float, count: int) -> None:
+        if self.budget is not None:
+            self.budget.charge(cost)
+        self.ledger.record(category, cost, count)
+
+    # ------------------------------------------------------------------
+    # The four question types
+    # ------------------------------------------------------------------
+
+    def ask_value(self, object_id: int, attribute: str, n: int = 1) -> list[float]:
+        """Ask ``n`` workers for the value of one object attribute.
+
+        Returns the spam-filtered answer batch (raw batch if no filter
+        is configured).  Charges ``n`` value questions.
+        """
+        if n <= 0:
+            return []
+        canonical = self.resolve(attribute)
+        cost = n * self.value_price(attribute)
+        self._charge("value", cost, n)
+        key = (object_id, attribute)
+        start = self._value_cursor.get(key, 0)
+        answers = self.recorder.value_answers(
+            object_id,
+            attribute,
+            start,
+            n,
+            lambda: self.pool.draw().answer_value(self.domain, object_id, canonical),
+        )
+        self._value_cursor[key] = start + n
+        if self.spam_filter is not None:
+            answers = self.spam_filter.filter(answers)
+        return list(answers)
+
+    def ask_value_mean(self, object_id: int, attribute: str, n: int) -> float:
+        """Average of ``n`` value answers — the paper's ``o.a^(n)``."""
+        answers = self.ask_value(object_id, attribute, n)
+        return float(np.mean(answers)) if answers else float("nan")
+
+    def ask_dismantle(self, attribute: str) -> str:
+        """Ask one worker to dismantle ``attribute``; returns the
+        (normalizer-processed) suggested attribute name."""
+        canonical = self.resolve(attribute)
+        self._charge("dismantle", self.prices.dismantle, 1)
+        start = self._dismantle_cursor.get(attribute, 0)
+        answers = self.recorder.dismantle_answers(
+            attribute,
+            start,
+            1,
+            lambda: self.pool.draw().answer_dismantle(self.domain, canonical),
+        )
+        self._dismantle_cursor[attribute] = start + 1
+        answer = answers[0]
+        if self.normalizer is not None:
+            answer = self.normalizer.normalize(answer)
+        return answer
+
+    def ask_verification_vote(self, attribute: str, candidate: str) -> bool:
+        """One worker vote on whether ``candidate`` helps ``attribute``."""
+        canonical_attribute = self.resolve(attribute)
+        canonical_candidate = self.resolve(candidate)
+        self._charge("verification", self.prices.verification, 1)
+        key = (attribute, candidate)
+        start = self._vote_cursor.get(key, 0)
+        votes = self.recorder.verification_votes(
+            attribute,
+            candidate,
+            start,
+            1,
+            lambda: self.pool.draw().answer_verification(
+                self.domain, canonical_attribute, canonical_candidate
+            ),
+        )
+        self._vote_cursor[key] = start + 1
+        return votes[0]
+
+    def verify_candidate(
+        self, attribute: str, candidate: str, verifier: SequentialVerifier | None = None
+    ) -> VerificationResult:
+        """Sequentially verify a dismantling answer (SPRT over votes)."""
+        verifier = verifier if verifier is not None else SequentialVerifier()
+        return verifier.verify(
+            lambda: self.ask_verification_vote(attribute, candidate)
+        )
+
+    def ask_example(self, targets: tuple[str, ...]) -> ExampleRecord:
+        """Ask one worker for an example object with true target values."""
+        canonical_targets = tuple(self.resolve(target) for target in targets)
+        self._charge("example", self.prices.example, 1)
+        start = self._example_cursor.get(targets, 0)
+        records = self.recorder.examples(
+            targets,
+            start,
+            1,
+            lambda: self.pool.draw().provide_example(self.domain, canonical_targets),
+        )
+        self._example_cursor[targets] = start + 1
+        object_id, values = records[0]
+        # Re-key the values under the algorithm-visible target names.
+        visible = dict(zip(targets, (values[c] for c in canonical_targets)))
+        return object_id, visible
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total_spent(self) -> float:
+        """Total cents spent through this platform instance."""
+        return self.ledger.total_spent
+
+    def fork(self, budget: Budget | None = None) -> "CrowdPlatform":
+        """A fresh platform over the same domain, pool, and recorder.
+
+        The fork starts with reset replay cursors and its own ledger and
+        budget — the setup for comparing a second algorithm on identical
+        crowd data.
+        """
+        return CrowdPlatform(
+            domain=self.domain,
+            pool=self.pool,
+            prices=self.prices,
+            budget=budget,
+            recorder=self.recorder,
+            spam_filter=self.spam_filter,
+            normalizer=self.normalizer,
+        )

@@ -1,0 +1,117 @@
+"""Worker pools.
+
+A :class:`WorkerPool` owns a population of independent workers and
+hands out a fresh random worker for each question, matching the paper's
+assumption that each answer comes from an independent crowd member.
+The pool's composition (fractions of honest / biased / spam workers) is
+configurable so experiments can stress the spam filter or study bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crowd.worker import BiasedWorker, HonestWorker, SpamWorker, Worker
+from repro.errors import ConfigurationError
+
+
+class WorkerPool:
+    """A population of crowd workers with a sampling policy.
+
+    Parameters
+    ----------
+    size:
+        Number of distinct workers in the population.
+    seed:
+        Master seed; workers receive derived, independent seeds.
+    spam_fraction:
+        Fraction of the population that are spam workers.
+    biased_fraction:
+        Fraction that are systematically biased (honest otherwise).
+    reliability:
+        Verification-vote correctness probability for honest workers.
+    synonym_rate:
+        Probability an honest worker phrases a dismantling answer with
+        a synonym surface form.
+    skill_spread:
+        Log-normal sigma of the per-worker skill multiplier (0 disables
+        skill heterogeneity).
+    """
+
+    def __init__(
+        self,
+        size: int = 200,
+        seed: int = 0,
+        spam_fraction: float = 0.0,
+        biased_fraction: float = 0.0,
+        reliability: float = 0.8,
+        synonym_rate: float = 0.3,
+        skill_spread: float = 0.0,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"pool size must be positive, got {size}")
+        if not 0.0 <= spam_fraction <= 1.0 or not 0.0 <= biased_fraction <= 1.0:
+            raise ConfigurationError("worker fractions must lie in [0, 1]")
+        if spam_fraction + biased_fraction > 1.0:
+            raise ConfigurationError(
+                "spam_fraction + biased_fraction must not exceed 1"
+            )
+        self._rng = np.random.default_rng(seed)
+        seeds = self._rng.integers(0, 2**63 - 1, size=size)
+
+        n_spam = int(round(size * spam_fraction))
+        n_biased = int(round(size * biased_fraction))
+        self._workers: list[Worker] = []
+        for worker_id in range(size):
+            worker_seed = int(seeds[worker_id])
+            skill = 1.0
+            if skill_spread > 0:
+                skill = float(np.exp(self._rng.normal(0.0, skill_spread)))
+            if worker_id < n_spam:
+                worker: Worker = SpamWorker(worker_id, worker_seed)
+            elif worker_id < n_spam + n_biased:
+                worker = BiasedWorker(
+                    worker_id,
+                    worker_seed,
+                    skill=skill,
+                    reliability=reliability,
+                    synonym_rate=synonym_rate,
+                )
+            else:
+                worker = HonestWorker(
+                    worker_id,
+                    worker_seed,
+                    skill=skill,
+                    reliability=reliability,
+                    synonym_rate=synonym_rate,
+                )
+            self._workers.append(worker)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> tuple[Worker, ...]:
+        """The full population (read-only view)."""
+        return tuple(self._workers)
+
+    def draw(self) -> Worker:
+        """Sample one worker uniformly at random (with replacement).
+
+        Drawing with replacement across questions keeps answers
+        independent, as assumed throughout the paper.
+        """
+        index = int(self._rng.integers(0, len(self._workers)))
+        return self._workers[index]
+
+    def draw_distinct(self, n: int) -> list[Worker]:
+        """Sample ``n`` distinct workers (for multi-vote tasks).
+
+        Falls back to sampling with replacement when ``n`` exceeds the
+        population size.
+        """
+        if n <= len(self._workers):
+            indices = self._rng.choice(len(self._workers), size=n, replace=False)
+        else:
+            indices = self._rng.integers(0, len(self._workers), size=n)
+        return [self._workers[int(i)] for i in indices]

@@ -1,0 +1,88 @@
+"""The four crowd question types of the paper (Section 2).
+
+Questions are small immutable value objects.  They carry no behaviour:
+workers (:mod:`repro.crowd.worker`) interpret them against a ground
+truth domain, and the platform (:mod:`repro.crowd.platform`) prices and
+records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Question:
+    """Base class for crowd questions.
+
+    The :attr:`kind` property names the question category used by the
+    price schedule and the cost ledger.
+    """
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ValueQuestion(Question):
+    """Ask one worker to estimate the value ``o.a`` of one attribute.
+
+    Example from the paper: show a worker a recipe and ask for the
+    value of ``number_of_eggs``.
+    """
+
+    object_id: int
+    attribute: str
+
+    @property
+    def kind(self) -> str:
+        return "value"
+
+
+@dataclass(frozen=True)
+class DismantlingQuestion(Question):
+    """Ask one worker to name another attribute related to ``attribute``.
+
+    Example from the paper: *"which recipe attribute may help estimate
+    its number_of_calories?"* with a likely answer such as
+    ``is_dietetic``.
+    """
+
+    attribute: str
+
+    @property
+    def kind(self) -> str:
+        return "dismantle"
+
+
+@dataclass(frozen=True)
+class VerificationQuestion(Question):
+    """Ask one worker whether ``candidate`` helps estimating ``attribute``.
+
+    Example from the paper: *"does knowing if a dish is_black help in
+    determining its number_of_calories?"* (likely answer: no).
+    """
+
+    attribute: str
+    candidate: str
+
+    @property
+    def kind(self) -> str:
+        return "verification"
+
+
+@dataclass(frozen=True)
+class ExampleQuestion(Question):
+    """Ask one worker for an example object with true values for targets.
+
+    Example from the paper: upload a recipe together with its calorie
+    value.  ``targets`` is the tuple of attribute names whose true
+    values the worker must supply.
+    """
+
+    targets: tuple[str, ...]
+
+    @property
+    def kind(self) -> str:
+        return "example"

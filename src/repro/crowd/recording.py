@@ -1,0 +1,159 @@
+"""Answer recording and replay.
+
+The paper stresses that crowd answers collected in early experiments
+were *recorded in a database and reused in following experiments, so
+that results of multiple runs/algorithms may be compared in equivalent
+settings*.  :class:`AnswerRecorder` is that database: it stores, per
+question key, the full sequence of answers ever generated, and hands
+out stable prefixes.
+
+Sharing one recorder across several :class:`~repro.crowd.platform.
+CrowdPlatform` instances guarantees that two algorithms asking the same
+questions receive byte-identical answers, which removes crowd variance
+from algorithm comparisons exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+#: A recorded example: (object id, {target attribute: true value}).
+ExampleRecord = tuple[int, dict[str, float]]
+
+
+class AnswerRecorder:
+    """Append-only store of crowd answers keyed by question identity."""
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[int, str], list[float]] = {}
+        self._dismantles: dict[str, list[str]] = {}
+        self._votes: dict[tuple[str, str], list[bool]] = {}
+        self._examples: dict[tuple[str, ...], list[ExampleRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # Generic prefix access
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _extend_to(
+        store: dict[Hashable, list[T]],
+        key: Hashable,
+        length: int,
+        generate: Callable[[], T],
+    ) -> list[T]:
+        sequence = store.setdefault(key, [])
+        while len(sequence) < length:
+            sequence.append(generate())
+        return sequence
+
+    # ------------------------------------------------------------------
+    # Per-question-type access (used by the platform)
+    # ------------------------------------------------------------------
+
+    def value_answers(
+        self,
+        object_id: int,
+        attribute: str,
+        start: int,
+        count: int,
+        generate: Callable[[], float],
+    ) -> list[float]:
+        """Answers ``start .. start+count`` for one (object, attribute)."""
+        sequence = self._extend_to(
+            self._values, (object_id, attribute), start + count, generate
+        )
+        return sequence[start : start + count]
+
+    def dismantle_answers(
+        self, attribute: str, start: int, count: int, generate: Callable[[], str]
+    ) -> list[str]:
+        """Dismantling answers ``start .. start+count`` for one attribute."""
+        sequence = self._extend_to(self._dismantles, attribute, start + count, generate)
+        return sequence[start : start + count]
+
+    def verification_votes(
+        self,
+        attribute: str,
+        candidate: str,
+        start: int,
+        count: int,
+        generate: Callable[[], bool],
+    ) -> list[bool]:
+        """Verification votes ``start .. start+count`` for one pair."""
+        sequence = self._extend_to(
+            self._votes, (attribute, candidate), start + count, generate
+        )
+        return sequence[start : start + count]
+
+    def examples(
+        self,
+        targets: tuple[str, ...],
+        start: int,
+        count: int,
+        generate: Callable[[], ExampleRecord],
+    ) -> list[ExampleRecord]:
+        """Example records ``start .. start+count`` for one target tuple."""
+        sequence = self._extend_to(self._examples, targets, start + count, generate)
+        return sequence[start : start + count]
+
+    # ------------------------------------------------------------------
+    # Introspection and persistence
+    # ------------------------------------------------------------------
+
+    def recorded_value_count(self, object_id: int, attribute: str) -> int:
+        """How many value answers exist for one (object, attribute)."""
+        return len(self._values.get((object_id, attribute), []))
+
+    def recorded_dismantle_count(self, attribute: str) -> int:
+        """How many dismantling answers exist for one attribute."""
+        return len(self._dismantles.get(attribute, []))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of every recorded answer."""
+        return {
+            "values": [
+                {"object": oid, "attribute": attr, "answers": answers}
+                for (oid, attr), answers in self._values.items()
+            ],
+            "dismantles": [
+                {"attribute": attr, "answers": answers}
+                for attr, answers in self._dismantles.items()
+            ],
+            "votes": [
+                {"attribute": attr, "candidate": cand, "votes": votes}
+                for (attr, cand), votes in self._votes.items()
+            ],
+            "examples": [
+                {
+                    "targets": list(targets),
+                    "records": [
+                        {"object": oid, "values": values} for oid, values in records
+                    ],
+                }
+                for targets, records in self._examples.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnswerRecorder":
+        """Rebuild a recorder from :meth:`to_dict` output."""
+        recorder = cls()
+        for entry in payload.get("values", []):
+            key = (int(entry["object"]), str(entry["attribute"]))
+            recorder._values[key] = [float(a) for a in entry["answers"]]
+        for entry in payload.get("dismantles", []):
+            recorder._dismantles[str(entry["attribute"])] = [
+                str(a) for a in entry["answers"]
+            ]
+        for entry in payload.get("votes", []):
+            key = (str(entry["attribute"]), str(entry["candidate"]))
+            recorder._votes[key] = [bool(v) for v in entry["votes"]]
+        for entry in payload.get("examples", []):
+            targets = tuple(str(t) for t in entry["targets"])
+            recorder._examples[targets] = [
+                (int(record["object"]), {k: float(v) for k, v in record["values"].items()})
+                for record in entry["records"]
+            ]
+        return recorder

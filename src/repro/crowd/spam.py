@@ -1,0 +1,104 @@
+"""Spam filtering of value answers.
+
+The paper assumes *"spam filters are employed to avoid malicious
+workers"* (Section 2) and cites Ipeirotis et al.'s quality-management
+work.  We provide two standard answer-level filters: a robust z-score
+filter around the median, and an agreement filter that keeps the
+densest cluster of answers.  Both act on the answer multiset of a
+single (object, attribute) pair, which is the granularity at which the
+platform aggregates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class SpamFilter(ABC):
+    """Filters a batch of value answers for one (object, attribute)."""
+
+    @abstractmethod
+    def filter(self, answers: list[float]) -> list[float]:
+        """Return the retained answers (order preserved, never empty)."""
+
+
+class ZScoreSpamFilter(SpamFilter):
+    """Drop answers far from the batch median, in robust z-score terms.
+
+    The scale is the median absolute deviation (scaled to be consistent
+    with a normal standard deviation); answers further than
+    ``threshold`` scaled MADs from the median are dropped.  Batches of
+    fewer than ``min_batch`` answers pass through untouched — with 1 or
+    2 answers there is no notion of an outlier.
+    """
+
+    #: MAD -> standard-deviation consistency constant for the normal.
+    _MAD_SCALE = 1.4826
+
+    def __init__(self, threshold: float = 3.0, min_batch: int = 3) -> None:
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive: {threshold}")
+        if min_batch < 2:
+            raise ConfigurationError(f"min_batch must be at least 2: {min_batch}")
+        self.threshold = threshold
+        self.min_batch = min_batch
+
+    def filter(self, answers: list[float]) -> list[float]:
+        if len(answers) < self.min_batch:
+            return list(answers)
+        values = np.asarray(answers, dtype=float)
+        median = float(np.median(values))
+        mad = float(np.median(np.abs(values - median))) * self._MAD_SCALE
+        if mad == 0.0:
+            # Majority of answers agree exactly; keep only the agreeing ones
+            # unless that would drop everything that disagrees by rounding.
+            kept = [a for a in answers if a == median]
+            return kept if kept else list(answers)
+        kept = [
+            answer
+            for answer in answers
+            if abs(answer - median) / mad <= self.threshold
+        ]
+        return kept if kept else [median]
+
+
+class AgreementSpamFilter(SpamFilter):
+    """Keep the largest cluster of mutually agreeing answers.
+
+    Two answers *agree* when they differ by at most ``tolerance`` times
+    the batch's interquartile range.  The filter keeps the largest
+    agreement neighbourhood, breaking ties toward the batch median.
+    This models reputation-free agreement-based quality control.
+    """
+
+    def __init__(self, tolerance: float = 1.0, min_batch: int = 4) -> None:
+        if tolerance <= 0:
+            raise ConfigurationError(f"tolerance must be positive: {tolerance}")
+        if min_batch < 2:
+            raise ConfigurationError(f"min_batch must be at least 2: {min_batch}")
+        self.tolerance = tolerance
+        self.min_batch = min_batch
+
+    def filter(self, answers: list[float]) -> list[float]:
+        if len(answers) < self.min_batch:
+            return list(answers)
+        values = np.asarray(answers, dtype=float)
+        q75, q25 = np.percentile(values, [75, 25])
+        scale = float(q75 - q25)
+        if scale == 0.0:
+            return list(answers)
+        radius = self.tolerance * scale
+        median = float(np.median(values))
+        best_members: list[float] = []
+        best_score = (-1, float("inf"))
+        for center in values:
+            members = [a for a in answers if abs(a - center) <= radius]
+            score = (len(members), -abs(float(center) - median))
+            if (score[0], -score[1]) > (best_score[0], -best_score[1]):
+                best_score = (score[0], -score[1])
+                best_members = members
+        return best_members if best_members else list(answers)

@@ -1,0 +1,127 @@
+"""Sequential verification of dismantling answers.
+
+After a dismantling question returns a candidate attribute, the paper
+verifies it with crowd *verification questions*, using "standard
+algorithms such as [CrowdScreen]" to decide how many yes/no votes are
+needed.  We implement the classical sequential probability ratio test
+(Wald 1945, which the paper also cites for question difficulty):
+
+* H1 — the candidate is relevant; workers vote *yes* with probability
+  ``p1`` (their reliability).
+* H0 — the candidate is irrelevant; workers vote *yes* with probability
+  ``p0 = 1 - p1`` for symmetric reliability.
+
+Votes are requested one at a time until the log-likelihood ratio
+crosses Wald's thresholds for the requested error rates, or the vote
+budget runs out (in which case the majority decides).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a sequential verification run.
+
+    Attributes
+    ----------
+    accepted:
+        Final decision: is the candidate attribute relevant?
+    votes:
+        The individual worker votes, in order.
+    decided_early:
+        True if the SPRT crossed a threshold before the vote cap.
+    """
+
+    accepted: bool
+    votes: tuple[bool, ...]
+    decided_early: bool
+
+    @property
+    def votes_used(self) -> int:
+        """Number of paid verification answers."""
+        return len(self.votes)
+
+
+class SequentialVerifier:
+    """Wald sequential probability ratio test over worker yes/no votes.
+
+    Parameters
+    ----------
+    reliability:
+        Assumed worker correctness probability ``p1`` (must exceed 0.5);
+        the irrelevant hypothesis uses ``p0 = 1 - reliability``.
+    alpha:
+        Tolerated probability of accepting an irrelevant candidate.
+    beta:
+        Tolerated probability of rejecting a relevant candidate.
+    max_votes:
+        Hard cap on votes per candidate; majority decides at the cap.
+    """
+
+    def __init__(
+        self,
+        reliability: float = 0.8,
+        alpha: float = 0.1,
+        beta: float = 0.1,
+        max_votes: int = 15,
+    ) -> None:
+        if not 0.5 < reliability < 1.0:
+            raise ConfigurationError(
+                f"reliability must be in (0.5, 1), got {reliability}"
+            )
+        if not 0.0 < alpha < 0.5 or not 0.0 < beta < 0.5:
+            raise ConfigurationError("alpha and beta must be in (0, 0.5)")
+        if max_votes < 1:
+            raise ConfigurationError(f"max_votes must be positive: {max_votes}")
+        self.reliability = reliability
+        self.alpha = alpha
+        self.beta = beta
+        self.max_votes = max_votes
+        p1, p0 = reliability, 1.0 - reliability
+        self._llr_yes = math.log(p1 / p0)
+        self._llr_no = math.log((1.0 - p1) / (1.0 - p0))
+        self._upper = math.log((1.0 - beta) / alpha)
+        self._lower = math.log(beta / (1.0 - alpha))
+
+    def expected_votes(self, relevant: bool) -> float:
+        """Wald's approximate expected sample size under one hypothesis.
+
+        Used by the budget manager to price a dismantling round before
+        committing to it.
+        """
+        p1 = self.reliability if relevant else 1.0 - self.reliability
+        drift = p1 * self._llr_yes + (1.0 - p1) * self._llr_no
+        boundary = self._upper if relevant else self._lower
+        if drift == 0:
+            return float(self.max_votes)
+        return min(float(self.max_votes), abs(boundary / drift))
+
+    def verify(self, ask_vote: Callable[[], bool]) -> VerificationResult:
+        """Run the SPRT, pulling one vote at a time from ``ask_vote``."""
+        llr = 0.0
+        votes: list[bool] = []
+        while len(votes) < self.max_votes:
+            vote = bool(ask_vote())
+            votes.append(vote)
+            llr += self._llr_yes if vote else self._llr_no
+            if llr >= self._upper:
+                return VerificationResult(
+                    accepted=True, votes=tuple(votes), decided_early=True
+                )
+            if llr <= self._lower:
+                return VerificationResult(
+                    accepted=False, votes=tuple(votes), decided_early=True
+                )
+        yes_count = sum(votes)
+        return VerificationResult(
+            accepted=yes_count * 2 > len(votes),
+            votes=tuple(votes),
+            decided_early=False,
+        )

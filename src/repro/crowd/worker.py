@@ -1,0 +1,216 @@
+"""Worker models.
+
+Workers generate answers to the four question types against a ground
+truth :class:`~repro.domains.base.Domain`.  The paper assumes workers
+are independent and that spam filters remove malicious ones; we provide
+an honest-but-noisy worker matching those assumptions, a systematically
+biased worker, and a spammer (to exercise the spam filter).
+
+The honest worker's value answer is ``truth + eps`` with
+``eps ~ N(0, difficulty(a))``, which makes the population statistics
+the DisQ planner estimates coincide with the domain specification:
+``E_O[Var(o.a^(1))] = difficulty(a)`` and the answer/target covariances
+equal the true-value covariances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.domains.base import IRRELEVANT, Domain
+
+
+class Worker(ABC):
+    """One crowd member with a private random stream.
+
+    Parameters
+    ----------
+    worker_id:
+        Stable identifier (used by the spam filter and the recorder).
+    seed:
+        Seed of the worker's private RNG; distinct seeds give the
+        independent workers the paper assumes.
+    """
+
+    def __init__(self, worker_id: int, seed: int) -> None:
+        self.worker_id = worker_id
+        self._rng = np.random.default_rng(seed)
+
+    # -- the four question types ---------------------------------------
+
+    @abstractmethod
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        """Estimate ``o.a`` for one object."""
+
+    @abstractmethod
+    def answer_dismantle(self, domain: Domain, attribute: str) -> str:
+        """Suggest an attribute that may help estimating ``attribute``."""
+
+    @abstractmethod
+    def answer_verification(
+        self, domain: Domain, attribute: str, candidate: str
+    ) -> bool:
+        """Vote on whether ``candidate`` helps estimating ``attribute``."""
+
+    def provide_example(
+        self, domain: Domain, targets: tuple[str, ...]
+    ) -> tuple[int, dict[str, float]]:
+        """Supply an example object together with true target values.
+
+        The paper assumes example values are correct (its authors used
+        lab members as a gold-standard crowd), so every worker type
+        reports the ground truth here.
+        """
+        object_id = domain.sample_object(self._rng)
+        values = {target: domain.true_value(object_id, target) for target in targets}
+        return object_id, values
+
+    # -- helpers ---------------------------------------------------------
+
+    def _resolve_irrelevant(self, domain: Domain, attribute: str) -> str:
+        """Pick a uniformly random attribute genuinely unrelated to ``attribute``.
+
+        An "irrelevant" dismantling answer models a worker suggesting
+        something unhelpful, so it is drawn from the attributes that do
+        *not* co-vary with the one being dismantled (those would be
+        legitimate answers, and the taxonomy already covers them).
+        """
+        related = set(domain.dismantle_distribution(attribute))
+        candidates = [
+            name
+            for name in domain.attributes()
+            if name != attribute
+            and name not in related
+            and not domain.is_relevant(attribute, name)
+        ]
+        if not candidates:
+            candidates = [name for name in domain.attributes() if name != attribute]
+        return str(self._rng.choice(candidates))
+
+    def _surface_form(self, domain: Domain, attribute: str, synonym_rate: float) -> str:
+        """Possibly replace an attribute name by one of its synonyms."""
+        forms = domain.synonyms(attribute)
+        if forms and self._rng.random() < synonym_rate:
+            return str(self._rng.choice(forms))
+        return attribute
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.worker_id})"
+
+
+class HonestWorker(Worker):
+    """A well-meaning worker with attribute-dependent noise.
+
+    Parameters
+    ----------
+    skill:
+        Multiplier on the answer-noise variance; 1.0 is an average
+        worker, below 1.0 is better than average.
+    reliability:
+        Probability of voting correctly on a verification question.
+    synonym_rate:
+        Probability of phrasing a dismantling answer with a synonym
+        instead of the canonical attribute name.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        seed: int,
+        skill: float = 1.0,
+        reliability: float = 0.8,
+        synonym_rate: float = 0.3,
+    ) -> None:
+        super().__init__(worker_id, seed)
+        self.skill = skill
+        self.reliability = reliability
+        self.synonym_rate = synonym_rate
+
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        truth = domain.true_value(object_id, attribute)
+        noise_sd = np.sqrt(self.skill * domain.difficulty(attribute))
+        answer = truth + self._rng.normal(0.0, noise_sd)
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return float(answer)
+
+    def answer_dismantle(self, domain: Domain, attribute: str) -> str:
+        distribution = domain.dismantle_distribution(attribute)
+        names = list(distribution)
+        probabilities = np.array([distribution[name] for name in names], dtype=float)
+        probabilities = probabilities / probabilities.sum()
+        choice = str(names[self._rng.choice(len(names), p=probabilities)])
+        if choice == IRRELEVANT:
+            choice = self._resolve_irrelevant(domain, attribute)
+        return self._surface_form(domain, choice, self.synonym_rate)
+
+    def answer_verification(
+        self, domain: Domain, attribute: str, candidate: str
+    ) -> bool:
+        truth = domain.is_relevant(attribute, candidate)
+        if self._rng.random() < self.reliability:
+            return truth
+        return not truth
+
+
+class BiasedWorker(HonestWorker):
+    """An honest worker with a persistent additive bias per attribute.
+
+    The bias for each attribute is drawn once (per worker) as a normal
+    with standard deviation ``bias_scale`` times the worker-noise
+    standard deviation; it then shifts every value answer the worker
+    gives for that attribute.  This models systematic over/under
+    estimators, a second-order effect the paper's averaging absorbs.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        seed: int,
+        bias_scale: float = 0.5,
+        **kwargs: float,
+    ) -> None:
+        super().__init__(worker_id, seed, **kwargs)
+        self.bias_scale = bias_scale
+        self._biases: dict[str, float] = {}
+
+    def _bias(self, domain: Domain, attribute: str) -> float:
+        if attribute not in self._biases:
+            noise_sd = np.sqrt(self.skill * domain.difficulty(attribute))
+            self._biases[attribute] = float(
+                self._rng.normal(0.0, self.bias_scale * noise_sd)
+            )
+        return self._biases[attribute]
+
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        answer = super().answer_value(domain, object_id, attribute)
+        answer += self._bias(domain, attribute)
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return answer
+
+
+class SpamWorker(Worker):
+    """A malicious/lazy worker producing uninformative answers.
+
+    Value answers are uniform over the attribute's plausible range,
+    dismantling answers are uniform over the attribute universe, and
+    verification votes are fair coin flips.  Spam workers exist to
+    exercise :mod:`repro.crowd.spam`; the paper assumes they are
+    filtered out before aggregation.
+    """
+
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        low, high = domain.answer_range(attribute)
+        return float(self._rng.uniform(low, high))
+
+    def answer_dismantle(self, domain: Domain, attribute: str) -> str:
+        candidates = [name for name in domain.attributes() if name != attribute]
+        return str(self._rng.choice(candidates))
+
+    def answer_verification(
+        self, domain: Domain, attribute: str, candidate: str
+    ) -> bool:
+        return bool(self._rng.random() < 0.5)

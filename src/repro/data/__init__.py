@@ -1,0 +1,21 @@
+"""Database substrate: data tables, query parsing, answer persistence.
+
+The paper's setting is a data table ``D_{O x A}`` whose query-relevant
+attribute values are missing and must be learned from the crowd.  This
+subpackage provides that table (:mod:`repro.data.table`), a mini-SQL
+parser extracting the query attribute set ``A(Q)``
+(:mod:`repro.data.query`), and JSON persistence for recorded crowd
+answers (:mod:`repro.data.store`).
+"""
+
+from repro.data.table import DataTable
+from repro.data.query import ParsedQuery, parse_query
+from repro.data.store import load_recorder, save_recorder
+
+__all__ = [
+    "DataTable",
+    "ParsedQuery",
+    "load_recorder",
+    "parse_query",
+    "save_recorder",
+]

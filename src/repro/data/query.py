@@ -1,0 +1,116 @@
+"""Mini-SQL query parsing.
+
+The paper treats a query ``Q`` as, w.l.o.g., an SQL query, and defines
+``A(Q)`` as the set of attribute names appearing in it — both in the
+SELECT list and in WHERE predicates.  The running example is::
+
+    select number_of_calories, protein_amount from CC where dessert = true
+
+with ``A(Q) = {dessert, number_of_calories, protein_amount}``.
+
+We parse exactly this fragment: a SELECT list of attribute names, a
+table name, and an optional WHERE clause of ``attr OP literal``
+conjunctions with ``OP`` in ``=, <, <=, >, >=`` and numeric or boolean
+literals.  Predicates become inclusive value ranges usable by
+:meth:`repro.data.table.DataTable.select`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+
+_QUERY_RE = re.compile(
+    r"^\s*select\s+(?P<select>.+?)\s+from\s+(?P<table>\w+)"
+    r"(?:\s+where\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_PREDICATE_RE = re.compile(
+    r"^\s*(?P<attr>\w+)\s*(?P<op><=|>=|=|<|>)\s*(?P<value>\S+)\s*$"
+)
+_BOOL_LITERALS = {"true": 1.0, "false": 0.0}
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed SELECT query.
+
+    Attributes
+    ----------
+    select:
+        Attribute names in the SELECT list, in order.
+    table:
+        Queried table name.
+    predicates:
+        WHERE predicates as inclusive ``attr -> (low, high)`` ranges.
+    """
+
+    select: tuple[str, ...]
+    table: str
+    predicates: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """The paper's ``A(Q)``: every attribute mentioned anywhere."""
+        return frozenset(self.select) | frozenset(self.predicates)
+
+
+def _parse_literal(token: str) -> float:
+    lowered = token.lower().strip("'\"")
+    if lowered in _BOOL_LITERALS:
+        return _BOOL_LITERALS[lowered]
+    try:
+        return float(lowered)
+    except ValueError as exc:
+        raise QueryError(f"cannot parse literal {token!r}") from exc
+
+
+def _predicate_range(op: str, value: float) -> tuple[float, float]:
+    if op == "=":
+        return (value, value)
+    if op in ("<", "<="):
+        return (-math.inf, value)
+    return (value, math.inf)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a mini-SQL SELECT statement into a :class:`ParsedQuery`.
+
+    Raises :class:`~repro.errors.QueryError` on anything outside the
+    supported fragment (joins, OR, nested queries, ...).
+    """
+    match = _QUERY_RE.match(text)
+    if match is None:
+        raise QueryError(f"not a supported SELECT query: {text!r}")
+
+    select_items = [item.strip() for item in match.group("select").split(",")]
+    if any(not re.fullmatch(r"\w+|\*", item) for item in select_items):
+        raise QueryError(f"unsupported SELECT list: {match.group('select')!r}")
+    select = tuple(item for item in select_items if item != "*")
+    if len(set(select)) != len(select):
+        raise QueryError("duplicate attribute in SELECT list")
+
+    predicates: dict[str, tuple[float, float]] = {}
+    where = match.group("where")
+    if where:
+        if re.search(r"\bor\b", where, re.IGNORECASE):
+            raise QueryError("OR predicates are not supported")
+        for clause in re.split(r"\band\b", where, flags=re.IGNORECASE):
+            predicate = _PREDICATE_RE.match(clause)
+            if predicate is None:
+                raise QueryError(f"cannot parse predicate {clause.strip()!r}")
+            attribute = predicate.group("attr")
+            low, high = _predicate_range(
+                predicate.group("op"), _parse_literal(predicate.group("value"))
+            )
+            if attribute in predicates:
+                old_low, old_high = predicates[attribute]
+                low, high = max(low, old_low), min(high, old_high)
+            predicates[attribute] = (low, high)
+
+    if not select and not predicates:
+        raise QueryError("query mentions no attributes")
+    return ParsedQuery(select=select, table=match.group("table"), predicates=predicates)

@@ -1,0 +1,159 @@
+"""The data table ``D_{O x A}``.
+
+A :class:`DataTable` holds rows for objects and columns for attributes,
+with missing values allowed — the paper's queries are precisely about
+attributes whose column is absent or empty.  The online query phase
+fills estimated columns (``o.a^(*)``) next to whatever ground truth is
+available, and the error metrics compare the two.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class DataTable:
+    """In-memory object/attribute table with missing values.
+
+    Parameters
+    ----------
+    object_ids:
+        Row identifiers, in row order.
+    columns:
+        Optional initial columns: attribute name -> sequence of values
+        aligned with ``object_ids`` (``None``/NaN marks missing).
+    """
+
+    def __init__(
+        self,
+        object_ids: Sequence[int],
+        columns: dict[str, Sequence[float | None]] | None = None,
+    ) -> None:
+        if len(set(object_ids)) != len(object_ids):
+            raise ConfigurationError("object ids must be unique")
+        self._object_ids = list(object_ids)
+        self._row_of = {oid: row for row, oid in enumerate(self._object_ids)}
+        self._columns: dict[str, np.ndarray] = {}
+        for name, values in (columns or {}).items():
+            self.set_column(name, values)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def object_ids(self) -> tuple[int, ...]:
+        """Row identifiers in row order."""
+        return tuple(self._object_ids)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Column names, in insertion order."""
+        return tuple(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._object_ids)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._columns
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _to_array(values: Sequence[float | None], length: int) -> np.ndarray:
+        if len(values) != length:
+            raise ConfigurationError(
+                f"column has {len(values)} values for {length} rows"
+            )
+        return np.array(
+            [math.nan if v is None else float(v) for v in values], dtype=float
+        )
+
+    def set_column(self, attribute: str, values: Sequence[float | None]) -> None:
+        """Create or replace a full column."""
+        self._columns[attribute] = self._to_array(values, len(self._object_ids))
+
+    def column(self, attribute: str) -> np.ndarray:
+        """Copy of one column (NaN marks missing)."""
+        if attribute not in self._columns:
+            raise ConfigurationError(f"no such column: {attribute!r}")
+        return self._columns[attribute].copy()
+
+    def get(self, object_id: int, attribute: str) -> float:
+        """One cell (NaN if missing)."""
+        if attribute not in self._columns:
+            return math.nan
+        return float(self._columns[attribute][self._row_of[object_id]])
+
+    def set(self, object_id: int, attribute: str, value: float) -> None:
+        """Write one cell, creating the column on first use."""
+        if attribute not in self._columns:
+            self._columns[attribute] = np.full(len(self._object_ids), math.nan)
+        self._columns[attribute][self._row_of[object_id]] = float(value)
+
+    def has_value(self, object_id: int, attribute: str) -> bool:
+        """True if the cell holds a real (non-missing) value."""
+        return not math.isnan(self.get(object_id, attribute))
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def missing_count(self, attribute: str) -> int:
+        """Number of missing cells in a column (all rows if absent)."""
+        if attribute not in self._columns:
+            return len(self._object_ids)
+        return int(np.isnan(self._columns[attribute]).sum())
+
+    def select(
+        self, attributes: Iterable[str], where: dict[str, tuple[float, float]] | None = None
+    ) -> "DataTable":
+        """Project onto ``attributes``, optionally filtering rows.
+
+        ``where`` maps attribute names to inclusive ``(low, high)``
+        ranges; rows whose value is missing or outside any range are
+        dropped.  This is the evaluation step for the simple numeric
+        predicates of the paper's example queries.
+        """
+        attributes = list(attributes)
+        keep: list[int] = []
+        for row, oid in enumerate(self._object_ids):
+            ok = True
+            for attribute, (low, high) in (where or {}).items():
+                value = self.get(oid, attribute)
+                if math.isnan(value) or not low <= value <= high:
+                    ok = False
+                    break
+            if ok:
+                keep.append(row)
+        result = DataTable([self._object_ids[row] for row in keep])
+        for attribute in attributes:
+            if attribute in self._columns:
+                column = self._columns[attribute]
+                result.set_column(attribute, [float(column[row]) for row in keep])
+            else:
+                result.set_column(attribute, [None] * len(keep))
+        return result
+
+    def to_rows(self) -> list[dict[str, float]]:
+        """Materialise the table as a list of per-object dicts."""
+        return [
+            {
+                "object_id": oid,
+                **{
+                    attribute: float(self._columns[attribute][row])
+                    for attribute in self._columns
+                },
+            }
+            for row, oid in enumerate(self._object_ids)
+        ]
+
+    def __repr__(self) -> str:
+        return f"DataTable(rows={len(self)}, columns={len(self._columns)})"

@@ -1,0 +1,31 @@
+"""Ground-truth domains: the worlds the simulated crowd answers about.
+
+The paper used two real-life domains (pictures of people from a public
+height/weight chart, and popular recipes from allrecipes.com) plus a
+synthetic one.  We rebuild all of them as generative models whose
+correlation and difficulty structure is calibrated to the statistics the
+paper published (Tables 4 and 5), plus the two extra domains used by the
+coverage experiment of Section 5.3.1 (house prices and laptop prices).
+"""
+
+from repro.domains.base import IRRELEVANT, Domain
+from repro.domains.gaussian import GaussianDomain, GaussianDomainSpec
+from repro.domains.taxonomy import DismantleTaxonomy
+from repro.domains.pictures import make_pictures_domain
+from repro.domains.recipes import make_recipes_domain
+from repro.domains.houses import make_houses_domain
+from repro.domains.laptops import make_laptops_domain
+from repro.domains.synthetic import make_synthetic_domain
+
+__all__ = [
+    "Domain",
+    "DismantleTaxonomy",
+    "GaussianDomain",
+    "GaussianDomainSpec",
+    "IRRELEVANT",
+    "make_houses_domain",
+    "make_laptops_domain",
+    "make_pictures_domain",
+    "make_recipes_domain",
+    "make_synthetic_domain",
+]

@@ -1,0 +1,209 @@
+"""The Laptop-Prices domain (coverage experiment, Section 5.3.1).
+
+The paper's second extra coverage domain is *laptop prices*, with the
+hedonic price analysis of Chwelos, Berndt & Cockburn ("Faster, smaller,
+cheaper") as the gold standard.  The attribute universe is the usual
+hedonic feature set for portable computers: processor speed, memory,
+storage, display, weight, battery, connectivity, brand and model age.
+"""
+
+from __future__ import annotations
+
+from repro.domains.calibration import correlation_from_pairs, extend_with_filler
+from repro.domains.gaussian import GaussianDomain, GaussianDomainSpec
+from repro.domains.taxonomy import DismantleTaxonomy
+
+_NAMES: tuple[str, ...] = (
+    "price",
+    "cpu_speed",
+    "ram_gb",
+    "storage_gb",
+    "screen_size",
+    "screen_resolution",
+    "weight_kg",
+    "battery_hours",
+    "brand_premium",
+    "model_age_years",
+    "has_ssd",
+    "has_dedicated_gpu",
+    "build_quality",
+    "is_touchscreen",
+    "keyboard_backlight",
+    "color_is_silver",
+    "sticker_count",
+)
+
+#: Themed filler attributes: the realistic long tail of unhelpful crowd
+#: suggestions.  Weakly correlated with everything, so verification
+#: rejects them; their diversity keeps Table 4's leaders on top.
+_FILLER_NAMES: tuple[str, ...] = (
+    'lid_has_logo_glow',
+    'box_included',
+    'photo_on_desk',
+    'num_usb_stickers',
+    'color_name_fancy',
+    'listing_has_emoji',
+    'seller_top_rated',
+    'photo_count_high',
+    'has_carry_case',
+    'keyboard_layout_us',
+    'listed_on_weekend',
+    'description_is_long',
+    'bundle_includes_mouse',
+    'warranty_card_shown',
+    'screen_reflection_visible',
+    'charger_cable_coiled',
+)
+
+_BINARY = {
+    "has_ssd",
+    "has_dedicated_gpu",
+    "is_touchscreen",
+    "keyboard_backlight",
+    "color_is_silver",
+}
+
+_MEANS = {
+    "price": 1100.0,
+    "cpu_speed": 2.6,
+    "ram_gb": 12.0,
+    "storage_gb": 512.0,
+    "screen_size": 14.5,
+    "screen_resolution": 2.2,
+    "weight_kg": 1.7,
+    "battery_hours": 8.0,
+    "brand_premium": 0.5,
+    "model_age_years": 2.0,
+    "build_quality": 0.6,
+    "sticker_count": 2.0,
+}
+
+_SIGMAS = {
+    "price": 450.0,
+    "cpu_speed": 0.6,
+    "ram_gb": 6.0,
+    "storage_gb": 300.0,
+    "screen_size": 1.4,
+    "screen_resolution": 0.8,
+    "weight_kg": 0.5,
+    "battery_hours": 3.0,
+    "brand_premium": 0.25,
+    "model_age_years": 1.4,
+    "build_quality": 0.2,
+    "sticker_count": 1.5,
+}
+
+_DIFFICULTIES = {
+    "price": 90000.0,
+    "cpu_speed": 0.4,
+    "ram_gb": 12.0,
+    "storage_gb": 30000.0,
+    "screen_size": 0.8,
+    "screen_resolution": 0.5,
+    "weight_kg": 0.15,
+    "battery_hours": 5.0,
+    "brand_premium": 0.06,
+    "model_age_years": 1.0,
+    "has_ssd": 0.08,
+    "has_dedicated_gpu": 0.10,
+    "build_quality": 0.05,
+    "is_touchscreen": 0.04,
+    "keyboard_backlight": 0.05,
+    "color_is_silver": 0.02,
+    "sticker_count": 0.8,
+}
+
+_CORRELATIONS = {
+    ("price", "cpu_speed"): 0.62,
+    ("price", "ram_gb"): 0.66,
+    ("price", "storage_gb"): 0.55,
+    ("price", "screen_resolution"): 0.50,
+    ("price", "weight_kg"): -0.30,
+    ("price", "battery_hours"): 0.35,
+    ("price", "brand_premium"): 0.55,
+    ("price", "model_age_years"): -0.52,
+    ("price", "has_ssd"): 0.42,
+    ("price", "has_dedicated_gpu"): 0.45,
+    ("price", "build_quality"): 0.58,
+    ("price", "screen_size"): 0.20,
+    ("cpu_speed", "ram_gb"): 0.55,
+    ("cpu_speed", "model_age_years"): -0.45,
+    ("ram_gb", "storage_gb"): 0.50,
+    ("ram_gb", "has_dedicated_gpu"): 0.40,
+    ("storage_gb", "has_ssd"): 0.35,
+    ("screen_size", "weight_kg"): 0.60,
+    ("screen_size", "has_dedicated_gpu"): 0.35,
+    ("weight_kg", "battery_hours"): -0.25,
+    ("brand_premium", "build_quality"): 0.60,
+    ("model_age_years", "has_ssd"): -0.40,
+    ("screen_resolution", "is_touchscreen"): 0.30,
+    ("build_quality", "keyboard_backlight"): 0.30,
+}
+
+_TAXONOMY = DismantleTaxonomy(
+    edges={
+        "price": {
+            "cpu_speed": 0.15,
+            "ram_gb": 0.12,
+            "brand_premium": 0.12,
+            "storage_gb": 0.08,
+            "build_quality": 0.08,
+        },
+        "build_quality": {
+            "brand_premium": 0.20,
+            "weight_kg": 0.10,
+            "keyboard_backlight": 0.08,
+        },
+        "cpu_speed": {"model_age_years": 0.20, "ram_gb": 0.15},
+        "ram_gb": {"cpu_speed": 0.18, "storage_gb": 0.12, "has_dedicated_gpu": 0.08},
+        "has_dedicated_gpu": {
+            "screen_resolution": 0.12,
+            "screen_size": 0.10,
+            "ram_gb": 0.08,
+        },
+        "weight_kg": {"screen_size": 0.20, "battery_hours": 0.10},
+        "storage_gb": {"has_ssd": 0.25, "ram_gb": 0.10},
+        "screen_size": {"weight_kg": 0.25, "has_dedicated_gpu": 0.10},
+        "battery_hours": {"weight_kg": 0.15, "screen_size": 0.10},
+        "brand_premium": {"build_quality": 0.25, "price": 0.10},
+        "model_age_years": {"cpu_speed": 0.15, "has_ssd": 0.12},
+    }
+)
+
+#: Gold standard: the hedonic determinants of laptop price.
+_GOLD = {
+    "price": frozenset(
+        {
+            "cpu_speed",
+            "ram_gb",
+            "storage_gb",
+            "screen_resolution",
+            "weight_kg",
+            "battery_hours",
+            "brand_premium",
+            "model_age_years",
+            "has_ssd",
+            "has_dedicated_gpu",
+        }
+    ),
+}
+
+
+def make_laptops_domain(n_objects: int = 500, seed: int = 0) -> GaussianDomain:
+    """Build the laptop-prices domain used by the coverage experiment."""
+    names, correlation = extend_with_filler(
+        _NAMES, correlation_from_pairs(_NAMES, _CORRELATIONS), _FILLER_NAMES
+    )
+    binary = _BINARY | set(_FILLER_NAMES)
+    difficulties = {**_DIFFICULTIES, **{name: 0.05 for name in _FILLER_NAMES}}
+    spec = GaussianDomainSpec(
+        names=names,
+        means=tuple(_MEANS.get(name, 0.5) for name in names),
+        sigmas=tuple(_SIGMAS.get(name, 0.25) for name in names),
+        correlation=correlation,
+        difficulties=tuple(difficulties[name] for name in names),
+        binary=tuple(name in binary for name in names),
+        taxonomy=_TAXONOMY,
+        gold_standards=_GOLD,
+    )
+    return GaussianDomain(spec, n_objects=n_objects, seed=seed, name="laptops")

@@ -1,0 +1,139 @@
+"""Fully synthetic random domains (paper Section 5.1, "Synthetic Data").
+
+The paper generated objects and attributes with random dependencies and
+mocked crowd answers "in compliance with the assumptions on crowd's
+answers" to neutralize the authors' own beliefs about which attributes
+are hard or easy.  We do the same:
+
+* true values follow a random low-rank factor model (each attribute
+  loads on a few shared latent factors, guaranteeing a rich but
+  consistent correlation structure);
+* per-attribute difficulties are drawn log-uniformly over a
+  configurable range, so the domain mixes easy and hard attributes;
+* the dismantling taxonomy is derived from the realized correlations:
+  the probability that a worker suggests ``b`` when dismantling ``a``
+  grows with ``|corr(a, b)|`` — the paper's assumption that "workers
+  are more likely to provide attributes that are correlative with the
+  attribute in question".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains.gaussian import GaussianDomain, GaussianDomainSpec
+from repro.domains.taxonomy import DismantleTaxonomy
+from repro.errors import ConfigurationError
+
+
+def _factor_correlation(
+    n_attributes: int, n_factors: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random correlation matrix from a latent factor model."""
+    loadings = rng.normal(0.0, 1.0, size=(n_attributes, n_factors))
+    # Per-attribute idiosyncratic variance keeps correlations below 1.
+    idiosyncratic = rng.uniform(0.3, 1.2, size=n_attributes)
+    covariance = loadings @ loadings.T + np.diag(idiosyncratic)
+    scale = np.sqrt(np.diag(covariance))
+    return covariance / np.outer(scale, scale)
+
+
+def _taxonomy_from_correlation(
+    names: tuple[str, ...],
+    correlation: np.ndarray,
+    informative_mass: float,
+    min_rho: float,
+) -> DismantleTaxonomy:
+    """Dismantle distributions proportional to |correlation|."""
+    edges: dict[str, dict[str, float]] = {}
+    for i, name in enumerate(names):
+        rhos = {
+            other: abs(float(correlation[i, j]))
+            for j, other in enumerate(names)
+            if j != i and abs(correlation[i, j]) >= min_rho
+        }
+        total = sum(rhos.values())
+        if total <= 0:
+            continue
+        edges[name] = {
+            other: informative_mass * rho / total for other, rho in rhos.items()
+        }
+    return DismantleTaxonomy(edges=edges)
+
+
+def make_synthetic_domain(
+    n_attributes: int = 15,
+    n_objects: int = 400,
+    n_factors: int = 4,
+    difficulty_range: tuple[float, float] = (0.05, 4.0),
+    informative_mass: float = 0.7,
+    min_rho: float = 0.25,
+    binary_fraction: float = 0.0,
+    seed: int = 0,
+) -> GaussianDomain:
+    """Generate a random correlated domain.
+
+    Parameters
+    ----------
+    n_attributes:
+        Universe size; attributes are named ``attr_00``, ``attr_01``, ...
+    n_objects:
+        Number of objects to sample.
+    n_factors:
+        Latent factors behind the correlation structure.
+    difficulty_range:
+        Log-uniform range of worker-noise variances (relative to unit
+        true-value variance).
+    informative_mass:
+        Fraction of dismantling answers that are correlation-driven
+        (the rest are irrelevant).
+    min_rho:
+        Minimum |correlation| for an attribute to appear as a
+        dismantling answer.
+    binary_fraction:
+        Fraction of attributes modelled as boolean-like.
+    seed:
+        Master seed for structure and sampling.
+    """
+    if n_attributes < 2:
+        raise ConfigurationError("need at least 2 attributes")
+    if not 0.0 < informative_mass <= 1.0:
+        raise ConfigurationError("informative_mass must be in (0, 1]")
+    low, high = difficulty_range
+    if not 0 < low <= high:
+        raise ConfigurationError(f"bad difficulty range: {difficulty_range}")
+
+    rng = np.random.default_rng(seed)
+    names = tuple(f"attr_{i:02d}" for i in range(n_attributes))
+    correlation = _factor_correlation(n_attributes, n_factors, rng)
+    difficulties = tuple(
+        float(np.exp(rng.uniform(np.log(low), np.log(high))))
+        for _ in range(n_attributes)
+    )
+    n_binary = int(round(binary_fraction * n_attributes))
+    binary_indices = set(
+        rng.choice(n_attributes, size=n_binary, replace=False).tolist()
+        if n_binary
+        else []
+    )
+    binary = tuple(i in binary_indices for i in range(n_attributes))
+    means = tuple(0.5 if binary[i] else 0.0 for i in range(n_attributes))
+    sigmas = tuple(0.25 if binary[i] else 1.0 for i in range(n_attributes))
+    # Binary attributes get difficulties on the [0, 1] scale.
+    difficulties = tuple(
+        min(difficulties[i], 0.25) if binary[i] else difficulties[i]
+        for i in range(n_attributes)
+    )
+
+    spec = GaussianDomainSpec(
+        names=names,
+        means=means,
+        sigmas=sigmas,
+        correlation=correlation,
+        difficulties=difficulties,
+        binary=binary,
+        taxonomy=_taxonomy_from_correlation(
+            names, correlation, informative_mass, min_rho
+        ),
+    )
+    return GaussianDomain(spec, n_objects=n_objects, seed=seed + 1, name="synthetic")

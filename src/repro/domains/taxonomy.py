@@ -1,0 +1,99 @@
+"""Dismantling-answer taxonomies.
+
+A :class:`DismantleTaxonomy` records, for each attribute, the
+distribution of attribute names the crowd suggests when asked to
+dismantle it.  The paper's Table 4 is an empirical sample from exactly
+such a distribution (e.g. dismantling *Bmi* yields *Weight* 33% of the
+time, *Height* 33%, *Age* 6%, *Attractive* 2%, and assorted unrelated
+suggestions for the rest).
+
+Frequencies need not sum to one: the remaining mass is assigned to
+:data:`~repro.domains.base.IRRELEVANT`, which workers resolve into a
+uniformly random unrelated attribute — modelling the noisy tail of real
+crowd answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.domains.base import IRRELEVANT
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DismantleTaxonomy:
+    """Per-attribute distributions over dismantling answers.
+
+    Parameters
+    ----------
+    edges:
+        ``edges[a][b]`` is the probability that a worker asked to
+        dismantle ``a`` answers ``b``.  Probabilities for one attribute
+        must sum to at most 1; the shortfall becomes irrelevant-answer
+        mass.
+    default_irrelevant:
+        Irrelevant mass used for attributes that have no entry in
+        ``edges`` at all (the crowd still answers *something*).
+    """
+
+    edges: dict[str, dict[str, float]] = field(default_factory=dict)
+    default_irrelevant: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attribute, answers in self.edges.items():
+            total = sum(answers.values())
+            if total > 1.0 + 1e-9:
+                raise ConfigurationError(
+                    f"dismantle frequencies for {attribute!r} sum to {total:.3f} > 1"
+                )
+            for answer, probability in answers.items():
+                if probability < 0:
+                    raise ConfigurationError(
+                        f"negative dismantle frequency for {attribute!r} -> {answer!r}"
+                    )
+
+    def distribution(self, attribute: str) -> dict[str, float]:
+        """Full answer distribution for ``attribute``, incl. irrelevant mass."""
+        answers = dict(self.edges.get(attribute, {}))
+        irrelevant = max(0.0, 1.0 - sum(answers.values()))
+        if attribute in self.edges:
+            if irrelevant > 1e-12:
+                answers[IRRELEVANT] = irrelevant
+        else:
+            answers[IRRELEVANT] = self.default_irrelevant
+        return answers
+
+    def related(self, attribute: str) -> tuple[str, ...]:
+        """Attribute names with positive dismantle mass for ``attribute``."""
+        return tuple(
+            name
+            for name, probability in self.edges.get(attribute, {}).items()
+            if probability > 0
+        )
+
+    def all_mentioned(self) -> frozenset[str]:
+        """Every attribute appearing anywhere in the taxonomy."""
+        names: set[str] = set(self.edges)
+        for answers in self.edges.values():
+            names.update(answers)
+        names.discard(IRRELEVANT)
+        return frozenset(names)
+
+    def with_extra_irrelevant(self, extra: float) -> "DismantleTaxonomy":
+        """Return a degraded taxonomy with ``extra`` mass moved to irrelevant.
+
+        Implements the Section 5.4 *attributes quality* robustness knob:
+        every informative answer probability is scaled by ``1 - extra``
+        so workers suggest unrelated attributes more often.
+        """
+        if not 0.0 <= extra < 1.0:
+            raise ConfigurationError(f"extra irrelevant mass must be in [0, 1): {extra}")
+        scaled = {
+            attribute: {
+                answer: probability * (1.0 - extra)
+                for answer, probability in answers.items()
+            }
+            for attribute, answers in self.edges.items()
+        }
+        return DismantleTaxonomy(edges=scaled, default_irrelevant=self.default_irrelevant)

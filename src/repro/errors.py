@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  The sub-classes mirror the main
+failure categories of the system: budget exhaustion on the crowd
+platform, malformed queries, and misconfigured domains or algorithms.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BudgetExhaustedError(ReproError):
+    """Raised when a crowd task would exceed the remaining budget.
+
+    Attributes
+    ----------
+    requested:
+        Cost (in cents) of the task that could not be afforded.
+    remaining:
+        Budget (in cents) that was left when the task was attempted.
+    """
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        super().__init__(
+            f"crowd task costing {requested:.2f}c exceeds remaining "
+            f"budget of {remaining:.2f}c"
+        )
+        self.requested = requested
+        self.remaining = remaining
+
+
+class QueryError(ReproError):
+    """Raised when a query string cannot be parsed or is semantically invalid."""
+
+
+class DomainError(ReproError):
+    """Raised when a domain is queried about an unknown object or attribute."""
+
+
+class UnknownAttributeError(DomainError):
+    """Raised when an attribute name is not part of the domain's universe."""
+
+    def __init__(self, attribute: str) -> None:
+        super().__init__(f"unknown attribute: {attribute!r}")
+        self.attribute = attribute
+
+
+class UnknownObjectError(DomainError):
+    """Raised when an object identifier is not part of the domain."""
+
+    def __init__(self, object_id: object) -> None:
+        super().__init__(f"unknown object: {object_id!r}")
+        self.object_id = object_id
+
+
+class ConfigurationError(ReproError):
+    """Raised when an algorithm or experiment is configured inconsistently."""
+
+
+class PlanningError(ReproError):
+    """Raised when the preprocessing phase cannot produce a valid plan."""

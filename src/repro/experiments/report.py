@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.experiments.sweeps import SweepSeries
+
+
+def _format_value(value: float, precision: int = 4) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a simple aligned ASCII table."""
+    formatted = [
+        [
+            _format_value(cell, precision) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in formatted))
+        if formatted
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: SweepSeries,
+    x_label: str,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a budget sweep as a table: one row per budget value."""
+    algorithms = list(series)
+    budgets = [x for x, _ in next(iter(series.values()))] if series else []
+    rows = []
+    for index, budget in enumerate(budgets):
+        row: list[object] = [f"{budget:g}"]
+        for name in algorithms:
+            row.append(series[name][index][1])
+        rows.append(row)
+    return render_table([x_label, *algorithms], rows, title=title, precision=precision)

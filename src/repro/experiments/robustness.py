@@ -1,0 +1,195 @@
+"""The Section 5.4 robustness experiments.
+
+Each function perturbs one assumption and re-runs the core comparison,
+so the benches can check the paper's claims:
+
+* *Attributes quality* — inflate the irrelevant-answer rate of
+  dismantling questions; trends must hold at a somewhat higher
+  ``B_prc``.
+* *Normalization mechanism* — run with imperfect or disabled synonym
+  merging; same expectation.
+* *Answer's correlation parameter* — vary the ``E[rho] ~ 0.5`` constant
+  of expression 5; results should stay similar.
+* *Crowd-task payment* — scale the price schedule; gradients change,
+  trends stay.
+
+Plus an ablation (flagged in DESIGN.md) of the optimistic priors used
+by the next-dismantle scorer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.model import Query
+from repro.core.online import OnlineEvaluator, query_error
+from repro.core.model import PreprocessingPlan
+from repro.crowd.normalization import AttributeNormalizer, NormalizationMode
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pricing import PriceSchedule
+from repro.crowd.recording import AnswerRecorder
+from repro.domains.gaussian import GaussianDomain
+from repro.errors import PlanningError
+from repro.experiments.config import ExperimentConfig, algorithm
+
+import numpy as np
+
+
+def _run_on_platform(
+    name: str,
+    platform: CrowdPlatform,
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+) -> float:
+    plans = algorithm(name)(
+        platform, query, b_obj_cents, b_prc_cents, config.make_params()
+    )
+    if isinstance(plans, PreprocessingPlan):
+        plans = [plans]
+    evaluator = OnlineEvaluator(platform.fork(), plans)
+    object_ids = range(min(config.eval_objects, domain.n_objects()))
+    estimates = evaluator.evaluate(object_ids)
+    return query_error(domain, estimates, object_ids, query)
+
+
+def _averaged(
+    name: str,
+    make_platform,
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+) -> float:
+    errors = []
+    for seed in range(config.repetitions):
+        try:
+            errors.append(
+                _run_on_platform(
+                    name,
+                    make_platform(seed),
+                    domain,
+                    query,
+                    b_obj_cents,
+                    b_prc_cents,
+                    config,
+                )
+            )
+        except PlanningError:
+            continue
+    return float(np.mean(errors)) if errors else float("inf")
+
+
+def with_degraded_taxonomy(
+    algorithms: Sequence[str],
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    extra_irrelevant: float = 0.3,
+) -> dict[str, float]:
+    """*Attributes quality*: more irrelevant dismantling answers."""
+    degraded = domain.with_taxonomy(
+        domain.spec.taxonomy.with_extra_irrelevant(extra_irrelevant)
+    )
+
+    def make_platform(seed: int) -> CrowdPlatform:
+        return CrowdPlatform(degraded, recorder=AnswerRecorder(), seed=seed)
+
+    return {
+        name: _averaged(
+            name, make_platform, degraded, query, b_obj_cents, b_prc_cents, config
+        )
+        for name in algorithms
+    }
+
+
+def with_normalization_mode(
+    algorithms: Sequence[str],
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    mode: NormalizationMode = NormalizationMode.NONE,
+    failure_rate: float = 0.3,
+) -> dict[str, float]:
+    """*Normalization mechanism*: imperfect or absent synonym merging."""
+
+    def make_platform(seed: int) -> CrowdPlatform:
+        return CrowdPlatform(
+            domain,
+            recorder=AnswerRecorder(),
+            normalizer=AttributeNormalizer(
+                domain, mode=mode, failure_rate=failure_rate, seed=seed
+            ),
+            seed=seed,
+        )
+
+    return {
+        name: _averaged(
+            name, make_platform, domain, query, b_obj_cents, b_prc_cents, config
+        )
+        for name in algorithms
+    }
+
+
+def with_rho_constant(
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    rho_values: Sequence[float] = (0.3, 0.5, 0.7),
+) -> dict[float, float]:
+    """*Answer's correlation parameter*: vary the expression-5 prior."""
+
+    def make_platform(seed: int) -> CrowdPlatform:
+        return CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed)
+
+    results = {}
+    for rho in rho_values:
+        rho_config = config.scaled(
+            params_overrides={**config.params_overrides, "rho_constant": rho}
+        )
+        results[rho] = _averaged(
+            "DisQ", make_platform, domain, query, b_obj_cents, b_prc_cents, rho_config
+        )
+    return results
+
+
+def with_price_scale(
+    algorithms: Sequence[str],
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    scale: float = 2.0,
+) -> dict[str, float]:
+    """*Crowd-task payment*: scale all prices (budgets scale with them,
+    so trends — not absolute spend — are what should persist)."""
+
+    prices = PriceSchedule().scaled(scale)
+
+    def make_platform(seed: int) -> CrowdPlatform:
+        return CrowdPlatform(
+            domain, recorder=AnswerRecorder(), prices=prices, seed=seed
+        )
+
+    return {
+        name: _averaged(
+            name,
+            make_platform,
+            domain,
+            query,
+            b_obj_cents * scale,
+            b_prc_cents * scale,
+            config,
+        )
+        for name in algorithms
+    }

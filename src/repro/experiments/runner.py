@@ -1,0 +1,122 @@
+"""Running algorithms in equivalent settings.
+
+The paper recorded all crowd answers and replayed them so different
+algorithms faced identical data.  :func:`run_algorithm` does the same:
+all algorithms of one repetition share an
+:class:`~repro.crowd.recording.AnswerRecorder`, and each gets a fresh
+platform fork (cursors reset) so it sees the same answer streams.
+:func:`run_averaged` repeats over seeds and averages, as the paper's
+30-run averages do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import PreprocessingPlan, Query
+from repro.core.online import OnlineEvaluator, default_weights, query_error
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.domains.base import Domain
+from repro.errors import PlanningError
+from repro.experiments.config import ExperimentConfig, algorithm
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one algorithm run.
+
+    Attributes
+    ----------
+    error:
+        Weighted query error over the evaluation objects.
+    plans:
+        The preprocessing plan(s) the offline phase produced.
+    preprocessing_cost:
+        Offline cents actually spent.
+    online_cost_per_object:
+        Online cents per database object under the plan.
+    """
+
+    error: float
+    plans: tuple[PreprocessingPlan, ...]
+    preprocessing_cost: float
+    online_cost_per_object: float
+
+
+def make_query(domain: Domain, targets: tuple[str, ...]) -> Query:
+    """A query over ``targets`` with the paper's ``1/Var`` weights."""
+    return Query(targets=targets, weights=default_weights(domain, targets))
+
+
+def run_algorithm(
+    name: str,
+    domain: Domain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    seed: int,
+    recorder: AnswerRecorder | None = None,
+) -> RunResult:
+    """Run one algorithm once and measure its online query error."""
+    platform = CrowdPlatform(
+        domain, recorder=recorder if recorder is not None else AnswerRecorder(),
+        seed=seed,
+    )
+    plans = algorithm(name)(
+        platform, query, b_obj_cents, b_prc_cents, config.make_params()
+    )
+    if isinstance(plans, PreprocessingPlan):
+        plans = [plans]
+    evaluator = OnlineEvaluator(platform.fork(), plans)
+    object_ids = range(min(config.eval_objects, domain.n_objects()))
+    estimates = evaluator.evaluate(object_ids)
+    error = query_error(domain, estimates, object_ids, query)
+    return RunResult(
+        error=error,
+        plans=tuple(plans),
+        preprocessing_cost=sum(plan.preprocessing_cost for plan in plans),
+        online_cost_per_object=evaluator.per_object_cost(),
+    )
+
+
+def run_averaged(
+    name: str,
+    domain: Domain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    recorders: list[AnswerRecorder] | None = None,
+) -> float:
+    """Mean query error over ``config.repetitions`` independent runs.
+
+    Pass ``recorders`` (one per repetition) to compare several
+    algorithms on the *same* crowd answers — the paper's methodology.
+    Runs whose preprocessing budget cannot even buy the example pools
+    are skipped (the paper never plots such underfunded points); if all
+    repetitions are infeasible the result is ``inf``.
+    """
+    errors: list[float] = []
+    for repetition in range(config.repetitions):
+        recorder = recorders[repetition] if recorders else None
+        try:
+            result = run_algorithm(
+                name,
+                domain,
+                query,
+                b_obj_cents,
+                b_prc_cents,
+                config,
+                seed=repetition,
+                recorder=recorder,
+            )
+        except PlanningError:
+            continue
+        errors.append(result.error)
+    if not errors:
+        return float("inf")
+    return float(np.mean(errors))

@@ -1,0 +1,88 @@
+"""Budget sweeps and their inversion.
+
+These produce the data behind the paper's line plots:
+
+* Figures 1(a-c), 3(a), 4(a): error versus the preprocessing budget
+  ``B_prc`` at a fixed per-object budget;
+* Figures 1(d-f), 3(b), 4(b): error versus the per-object budget
+  ``B_obj`` at a fixed preprocessing budget;
+* Figure 2: the ``B_obj`` needed by each algorithm to reach given
+  error targets (inversion of a ``B_obj`` sweep).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.core.model import Query
+from repro.crowd.recording import AnswerRecorder
+from repro.domains.base import Domain
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_averaged
+
+#: A sweep result: algorithm -> list of (budget, mean error) points.
+SweepSeries = dict[str, list[tuple[float, float]]]
+
+
+def _shared_recorders(config: ExperimentConfig) -> list[AnswerRecorder]:
+    """One recorder per repetition, shared by every algorithm/point.
+
+    Sharing across sweep points as well (not only algorithms) mirrors
+    the paper's reuse of previously collected answers and keeps curves
+    smooth: a larger budget strictly extends the smaller budget's data.
+    """
+    return [AnswerRecorder() for _ in range(config.repetitions)]
+
+
+def sweep_b_prc(
+    algorithms: Sequence[str],
+    domain: Domain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_values: Sequence[float],
+    config: ExperimentConfig,
+) -> SweepSeries:
+    """Error versus preprocessing budget at fixed ``B_obj``."""
+    recorders = _shared_recorders(config)
+    series: SweepSeries = {name: [] for name in algorithms}
+    for b_prc in b_prc_values:
+        for name in algorithms:
+            error = run_averaged(
+                name, domain, query, b_obj_cents, b_prc, config, recorders
+            )
+            series[name].append((b_prc, error))
+    return series
+
+
+def sweep_b_obj(
+    algorithms: Sequence[str],
+    domain: Domain,
+    query: Query,
+    b_obj_values: Sequence[float],
+    b_prc_cents: float,
+    config: ExperimentConfig,
+) -> SweepSeries:
+    """Error versus per-object budget at fixed ``B_prc``."""
+    recorders = _shared_recorders(config)
+    series: SweepSeries = {name: [] for name in algorithms}
+    for b_obj in b_obj_values:
+        for name in algorithms:
+            error = run_averaged(
+                name, domain, query, b_obj, b_prc_cents, config, recorders
+            )
+            series[name].append((b_obj, error))
+    return series
+
+
+def required_budget(
+    series: list[tuple[float, float]], target_error: float
+) -> float:
+    """Smallest swept budget whose error is at or below ``target_error``.
+
+    This is how Figure 2 reads off "the B_obj necessary for achieving a
+    target error" from a ``B_obj`` sweep.  Returns ``inf`` when the
+    target is never reached within the sweep.
+    """
+    feasible = [budget for budget, error in series if error <= target_error]
+    return min(feasible) if feasible else math.inf

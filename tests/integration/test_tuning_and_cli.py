@@ -1,0 +1,136 @@
+"""Integration tests for budget-split tuning and the CLI."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.disq import DisQParams
+from repro.core.tuning import candidate_splits, optimize_budget_split
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.errors import ConfigurationError
+from repro.experiments.runner import make_query
+
+
+class TestCandidateSplits:
+    def test_infeasible_grid_points_dropped(self):
+        splits = candidate_splits(1000.0, 100, b_obj_grid=(1.0, 5.0, 20.0))
+        # 20c/object over 100 objects already exceeds the total.
+        assert [s.b_obj_cents for s in splits] == [1.0, 5.0]
+        assert splits[0].b_prc_cents == pytest.approx(900.0)
+
+    def test_all_infeasible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate_splits(100.0, 1000, b_obj_grid=(1.0,))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate_splits(0.0, 10, (1.0,))
+        with pytest.raises(ConfigurationError):
+            candidate_splits(100.0, 0, (1.0,))
+
+
+class TestOptimizeBudgetSplit:
+    def test_returns_best_of_grid(self, tiny_domain):
+        platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=0)
+        query = make_query(tiny_domain, ("target",))
+        best, grid = optimize_budget_split(
+            platform,
+            tiny_domain,
+            query,
+            total_cents=2500.0,
+            n_objects=150,
+            params=DisQParams(n1=20, max_rounds=20),
+            b_obj_grid=(1.0, 4.0),
+            pilot_objects=20,
+            repetitions=1,
+        )
+        assert math.isfinite(best.pilot_error)
+        assert best.pilot_error == min(s.pilot_error for s in grid)
+        assert len(grid) == 2
+
+
+class TestCli:
+    def test_plan_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "plan",
+                "--domain", "recipes",
+                "--target", "protein",
+                "--n-objects", "150",
+                "--n1", "25",
+                "--b-obj", "2",
+                "--b-prc", "700",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan for targets protein" in out
+
+    def test_evaluate_command_with_compare(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "evaluate",
+                "--domain", "pictures",
+                "--target", "bmi",
+                "--n-objects", "150",
+                "--n1", "25",
+                "--b-obj", "2",
+                "--b-prc", "700",
+                "--objects", "20",
+                "--compare",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DisQ weighted query error" in out
+        assert "NaiveAverage query error" in out
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "--domain", "pictures",
+                "--target", "bmi",
+                "--n-objects", "150",
+                "--n1", "20",
+                "--axis", "b_obj",
+                "--values", "1,4",
+                "--b-prc", "700",
+                "--objects", "20",
+                "--repetitions", "1",
+                "--algorithms", "NaiveAverage",
+            ]
+        )
+        assert code == 0
+        assert "B_obj(c)" in capsys.readouterr().out
+
+    def test_unknown_domain_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["plan", "--domain", "mars", "--target", "x"])
+
+    def test_tune_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "tune",
+                "--domain", "pictures",
+                "--target", "bmi",
+                "--n-objects", "150",
+                "--n1", "20",
+                "--total", "2000",
+                "--objects", "200",
+            ]
+        )
+        assert code == 0
+        assert "best: B_obj=" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Property-based tests for the query parser."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.query import parse_query
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    # Avoid tokens that collide with SQL keywords in our tiny grammar.
+    lambda s: s not in {"select", "from", "where", "and", "or", "true", "false"}
+)
+
+
+@st.composite
+def random_query(draw):
+    select = draw(st.lists(identifiers, min_size=1, max_size=4, unique=True))
+    table = draw(identifiers)
+    n_predicates = draw(st.integers(0, 3))
+    predicates = []
+    predicate_attrs = draw(
+        st.lists(identifiers, min_size=n_predicates, max_size=n_predicates, unique=True)
+    )
+    for attr in predicate_attrs:
+        op = draw(st.sampled_from(["=", "<", "<=", ">", ">="]))
+        literal = draw(st.floats(-1e5, 1e5).map(lambda f: round(f, 3)))
+        predicates.append(f"{attr} {op} {literal}")
+    text = f"select {', '.join(select)} from {table}"
+    if predicates:
+        text += " where " + " and ".join(predicates)
+    return text, select, table, predicate_attrs
+
+
+class TestParserProperties:
+    @given(random_query())
+    @settings(max_examples=100)
+    def test_parse_recovers_structure(self, case):
+        text, select, table, predicate_attrs = case
+        parsed = parse_query(text)
+        assert list(parsed.select) == select
+        assert parsed.table == table
+        assert set(parsed.predicates) == set(predicate_attrs)
+        assert parsed.attributes == set(select) | set(predicate_attrs)
+
+    @given(random_query())
+    @settings(max_examples=100)
+    def test_predicate_ranges_well_formed(self, case):
+        text, *_ = case
+        parsed = parse_query(text)
+        for low, high in parsed.predicates.values():
+            assert low <= high or math.isinf(low) or math.isinf(high)
+
+    @given(random_query())
+    @settings(max_examples=50)
+    def test_parse_is_idempotent_on_whitespace(self, case):
+        text, *_ = case
+        spaced = text.replace(" ", "   ")
+        assert parse_query(spaced) == parse_query(text)

@@ -1,0 +1,123 @@
+"""Property-based tests for the statistics store invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.statistics import (
+    ExamplePool,
+    StatisticsStore,
+    variance_estimate,
+)
+
+
+class TestVarianceEstimateProperties:
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=0, max_size=12))
+    def test_nonnegative(self, answers):
+        assert variance_estimate(answers) >= 0.0
+
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=12))
+    def test_shift_invariant(self, answers):
+        shifted = [a + 17.5 for a in answers]
+        assert variance_estimate(shifted) == (
+            __import__("pytest").approx(variance_estimate(answers), rel=1e-6, abs=1e-6)
+        )
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=12),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scale_quadratic(self, answers, scale):
+        import pytest
+
+        scaled = [a * scale for a in answers]
+        assert variance_estimate(scaled) == pytest.approx(
+            variance_estimate(answers) * scale**2, rel=1e-6, abs=1e-6
+        )
+
+    @given(st.floats(-1e3, 1e3), st.integers(min_value=2, max_value=10))
+    def test_constant_answers_zero_variance(self, value, count):
+        import pytest
+
+        assert variance_estimate([value] * count) == pytest.approx(0.0, abs=1e-12)
+
+
+@st.composite
+def populated_store(draw):
+    """A single-target store with 1-3 attributes of random crowd data."""
+    seed = draw(st.integers(0, 10_000))
+    n_attributes = draw(st.integers(1, 3))
+    n_examples = draw(st.integers(5, 40))
+    k = draw(st.integers(2, 3))
+    rng = np.random.default_rng(seed)
+    store = StatisticsStore(("t",), k=k)
+    pool = store.pool("t")
+    target = rng.normal(0, 2, n_examples)
+    for i in range(n_examples):
+        pool.add_example(i, float(target[i]))
+    for index in range(n_attributes):
+        name = f"a{index}"
+        mixing = rng.uniform(-1, 1)
+        true = mixing * target + rng.normal(0, 1, n_examples)
+        noise = rng.uniform(0.05, 2.0)
+        batches = [
+            [float(true[i] + rng.normal(0, np.sqrt(noise))) for _ in range(k)]
+            for i in range(n_examples)
+        ]
+        store.register_attribute(name, {"t"})
+        pool.record_answers(name, batches)
+    return store
+
+
+class TestStoreInvariants:
+    @given(populated_store())
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_statistics_nonnegative(self, store):
+        for attribute in store.attributes:
+            assert store.s_c(attribute) >= 0.0
+            assert store.answer_variance(attribute) > 0.0
+            # S_o is signed; only its magnitude is bounded by construction.
+            s_o = store.s_o_measured("t", attribute)
+            assert s_o is None or abs(s_o) < 1e6
+
+    @given(populated_store())
+    @settings(max_examples=40, deadline=None)
+    def test_s_a_symmetric(self, store):
+        for a in store.attributes:
+            for b in store.attributes:
+                assert store.s_a_entry(a, b) == store.s_a_entry(b, a)
+
+    @given(populated_store())
+    @settings(max_examples=40, deadline=None)
+    def test_shrunk_never_exceeds_measured(self, store):
+        for attribute in store.attributes:
+            measured = store.s_o_measured("t", attribute)
+            shrunk = store.s_o_shrunk("t", attribute)
+            if measured is not None:
+                assert abs(shrunk) <= abs(measured) + 1e-12
+                assert shrunk * measured >= 0.0  # sign preserved (or zero)
+
+    @given(populated_store())
+    @settings(max_examples=40, deadline=None)
+    def test_assemble_consistency(self, store):
+        attributes = list(store.attributes)
+        s_o, s_a, s_c = store.assemble(attributes, "t")
+        target_variance = store.target_variance("t")
+        diag = np.diag(s_a)
+        assert (diag > 0).all()
+        assert np.allclose(s_a, s_a.T)
+        # Cauchy-Schwarz after projection.
+        cap = store.RHO_CAP
+        for i in range(len(attributes)):
+            assert abs(s_o[i]) <= cap * np.sqrt(diag[i] * target_variance) + 1e-9
+            for j in range(len(attributes)):
+                if i != j:
+                    assert abs(s_a[i, j]) <= cap * np.sqrt(diag[i] * diag[j]) + 1e-9
+
+    @given(populated_store())
+    @settings(max_examples=40, deadline=None)
+    def test_rho_in_unit_interval(self, store):
+        for attribute in store.attributes:
+            rho = store.rho("t", attribute)
+            if rho is not None:
+                assert -1.0 <= rho <= 1.0

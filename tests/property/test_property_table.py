@@ -1,0 +1,74 @@
+"""Property-based tests for the DataTable substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.table import DataTable
+
+values = st.one_of(st.none(), st.floats(-1e6, 1e6))
+
+
+@st.composite
+def table_and_data(draw):
+    n = draw(st.integers(1, 20))
+    object_ids = draw(
+        st.lists(st.integers(0, 10_000), min_size=n, max_size=n, unique=True)
+    )
+    n_columns = draw(st.integers(0, 4))
+    columns = {
+        f"col{j}": draw(st.lists(values, min_size=n, max_size=n))
+        for j in range(n_columns)
+    }
+    return DataTable(object_ids, columns), object_ids, columns
+
+
+class TestTableProperties:
+    @given(table_and_data())
+    @settings(max_examples=60)
+    def test_round_trip_cells(self, data):
+        table, object_ids, columns = data
+        for name, column in columns.items():
+            for oid, value in zip(object_ids, column):
+                stored = table.get(oid, name)
+                if value is None:
+                    assert math.isnan(stored)
+                else:
+                    assert stored == value
+
+    @given(table_and_data())
+    @settings(max_examples=60)
+    def test_missing_count_matches_nones(self, data):
+        table, _, columns = data
+        for name, column in columns.items():
+            assert table.missing_count(name) == sum(v is None for v in column)
+
+    @given(table_and_data())
+    @settings(max_examples=60)
+    def test_select_never_grows(self, data):
+        table, _, columns = data
+        if not columns:
+            return
+        name = next(iter(columns))
+        filtered = table.select([name], where={name: (0.0, 1e5)})
+        assert len(filtered) <= len(table)
+        # Every surviving row satisfies the predicate.
+        for oid in filtered.object_ids:
+            value = filtered.get(oid, name)
+            assert 0.0 <= value <= 1e5
+
+    @given(table_and_data(), st.floats(-1e6, 1e6))
+    @settings(max_examples=60)
+    def test_set_then_get(self, data, new_value):
+        table, object_ids, _ = data
+        table.set(object_ids[0], "fresh", new_value)
+        assert table.get(object_ids[0], "fresh") == new_value
+        assert table.missing_count("fresh") == len(table) - 1
+
+    @given(table_and_data())
+    @settings(max_examples=60)
+    def test_to_rows_covers_all_objects(self, data):
+        table, object_ids, _ = data
+        rows = table.to_rows()
+        assert [row["object_id"] for row in rows] == list(object_ids)

@@ -1,0 +1,91 @@
+"""Unit tests for the adaptive (sequential-stopping) online evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveOnlineEvaluator
+from repro.core.model import (
+    BudgetDistribution,
+    EstimationFormula,
+    PreprocessingPlan,
+    Query,
+)
+from repro.errors import ConfigurationError
+
+
+def plan_with_budget(counts, coefficients=None, target="target"):
+    budget = BudgetDistribution(counts)
+    coefficients = coefficients or {a: 1.0 for a in budget.attributes}
+    formula = EstimationFormula(target, coefficients, 0.0, budget)
+    return PreprocessingPlan(
+        query=Query.single(target),
+        attributes=tuple(budget.attributes),
+        budget=budget,
+        formulas={target: formula},
+    )
+
+
+class TestAdaptiveEvaluation:
+    def test_easy_attribute_stops_early(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+
+        # flag_a is easy (difficulty 0.05): 20 planned answers are
+        # overkill at a loose tolerance.
+        platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=0)
+        plan = plan_with_budget({"flag_a": 20}, target="flag_a")
+        evaluator = AdaptiveOnlineEvaluator(platform, plan, tolerance=0.3)
+        evaluator.target_sigmas = {"flag_a": tiny_domain.true_sigma("flag_a")}
+        outcome = evaluator.estimate_object(0)
+        assert outcome.questions_asked < outcome.questions_planned
+        assert outcome.savings > 0.0
+
+    def test_tight_tolerance_uses_full_budget(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+
+        platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=0)
+        plan = plan_with_budget({"target": 8})
+        evaluator = AdaptiveOnlineEvaluator(platform, plan, tolerance=1e-6)
+        outcome = evaluator.estimate_object(0)
+        assert outcome.questions_asked == outcome.questions_planned
+        assert outcome.savings == 0.0
+
+    def test_estimates_remain_accurate(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+
+        platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=0)
+        plan = plan_with_budget({"target": 20})
+        evaluator = AdaptiveOnlineEvaluator(platform, plan, tolerance=0.25)
+        evaluator.target_sigmas = {"target": tiny_domain.true_sigma("target")}
+        estimates, savings = evaluator.evaluate(range(15))
+        truth = np.array([tiny_domain.true_value(o, "target") for o in range(15)])
+        rmse = float(np.sqrt(np.mean((estimates["target"] - truth) ** 2)))
+        assert rmse < 2.0 * np.sqrt(tiny_domain.difficulty("target") / 4)
+        assert 0.0 <= savings <= 1.0
+
+    def test_savings_grow_with_tolerance(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+
+        recorder = AnswerRecorder()
+        plan = plan_with_budget({"target": 20})
+
+        def savings_at(tolerance):
+            platform = CrowdPlatform(tiny_domain, recorder=recorder, seed=0)
+            evaluator = AdaptiveOnlineEvaluator(platform, plan, tolerance=tolerance)
+            evaluator.target_sigmas = {"target": tiny_domain.true_sigma("target")}
+            _, savings = evaluator.evaluate(range(10))
+            return savings
+
+        assert savings_at(0.5) >= savings_at(0.05)
+
+    def test_validation(self, tiny_platform):
+        plan = plan_with_budget({"target": 4})
+        with pytest.raises(ConfigurationError):
+            AdaptiveOnlineEvaluator(tiny_platform, plan, tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveOnlineEvaluator(tiny_platform, plan, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveOnlineEvaluator(tiny_platform, plan, min_answers=1)

@@ -1,0 +1,52 @@
+"""Unit tests for the negative-score ranking and the exhaustion floor."""
+
+from repro.core.dismantling import CandidateScore, DismantleScorer
+
+
+class TestNegativeScoreRanking:
+    def test_positive_scores_ranked_by_score(self):
+        small = CandidateScore("a", probability_new=0.5, gain=2.0, loss=1.0)
+        large = CandidateScore("b", probability_new=0.4, gain=5.0, loss=1.0)
+        assert DismantleScorer.choose([small, large]).attribute == "b"
+
+    def test_positive_beats_any_negative(self):
+        positive = CandidateScore("a", probability_new=0.01, gain=1.1, loss=1.0)
+        negative = CandidateScore("b", probability_new=0.5, gain=0.5, loss=1.0)
+        assert DismantleScorer.choose([positive, negative]).attribute == "a"
+
+    def test_all_negative_prefers_fresh_informative_candidate(self):
+        # The raw argmax of Pr*(G-L) would pick the exhausted 'stale'
+        # (smallest Pr minimizes the negative product); the ranking must
+        # pick the fresh, more informative candidate instead.
+        stale = CandidateScore("stale", probability_new=0.001, gain=0.5, loss=1.0)
+        fresh = CandidateScore("fresh", probability_new=0.5, gain=0.4, loss=1.0)
+        assert stale.score > fresh.score  # the raw-argmax trap
+        assert DismantleScorer.choose([stale, fresh]).attribute == "fresh"
+
+    def test_ranking_tuple_structure(self):
+        positive = CandidateScore("a", probability_new=0.5, gain=3.0, loss=1.0)
+        negative = CandidateScore("b", probability_new=0.5, gain=0.5, loss=1.0)
+        assert positive.ranking[0] == 1
+        assert negative.ranking[0] == 0
+        assert negative.ranking[1] == 0.5 * 0.5  # Pr * G
+
+
+class TestExhaustionFloor:
+    def test_exhausted_attributes_leave_candidate_set(self, tiny_domain):
+        from repro.core.disq import DisQParams, DisQPlanner
+        from repro.core.model import Query
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+
+        platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=0)
+        params = DisQParams(n1=20, min_probability_new=0.05)  # floor at ~18 asks
+        planner = DisQPlanner(platform, Query.single("target"), 2.0, 2000.0, params)
+        plan = planner.preprocess()
+        max_asked = max(planner._question_counts.values())
+        assert max_asked <= 19  # 1/(n+2) >= 0.05 -> n <= 18
+
+    def test_floor_zero_disables_exhaustion(self):
+        from repro.core.disq import DisQParams
+
+        params = DisQParams(min_probability_new=0.0)
+        assert params.min_probability_new == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for the calibrated domains (pictures/recipes/houses/laptops)."""
+
+import numpy as np
+import pytest
+
+from repro.domains import (
+    make_houses_domain,
+    make_laptops_domain,
+    make_pictures_domain,
+    make_recipes_domain,
+)
+
+ALL_FACTORIES = [
+    make_pictures_domain,
+    make_recipes_domain,
+    make_houses_domain,
+    make_laptops_domain,
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+class TestCommonInvariants:
+    def test_builds_and_samples(self, factory):
+        domain = factory(n_objects=100, seed=0)
+        assert domain.n_objects() == 100
+        assert len(domain.attributes()) >= 15
+
+    def test_taxonomy_names_exist_in_universe(self, factory):
+        domain = factory(n_objects=50, seed=0)
+        taxonomy = domain.spec.taxonomy
+        assert taxonomy.all_mentioned() <= set(domain.attributes())
+
+    def test_gold_standards_exist_in_universe(self, factory):
+        domain = factory(n_objects=50, seed=0)
+        for target, gold in domain.spec.gold_standards.items():
+            assert target in domain.attributes()
+            assert gold <= set(domain.attributes())
+
+    def test_synonyms_do_not_collide_with_attributes(self, factory):
+        domain = factory(n_objects=50, seed=0)
+        for attribute in domain.attributes():
+            for form in domain.synonyms(attribute):
+                assert form not in domain.attributes()
+
+    def test_binary_attributes_stay_in_unit_interval(self, factory):
+        domain = factory(n_objects=100, seed=0)
+        for attribute in domain.attributes():
+            if domain.is_binary(attribute):
+                values = domain.true_values(attribute)
+                assert values.min() >= 0.0 and values.max() <= 1.0
+
+
+class TestPicturesCalibration:
+    def test_table5a_core_correlations_roughly_hold(self):
+        domain = make_pictures_domain(n_objects=4000, seed=2)
+        corr = lambda a, b: np.corrcoef(
+            domain.true_values(a), domain.true_values(b)
+        )[0, 1]
+        # The PSD projection of the over-constrained published matrix
+        # shifts values somewhat; assert the realized structure.
+        assert corr("bmi", "weight") == pytest.approx(0.94, abs=0.10)
+        assert abs(corr("bmi", "heavy")) == pytest.approx(0.86, abs=0.12)
+        assert corr("age", "weight") > 0.4
+
+    def test_hard_targets_are_hard(self):
+        domain = make_pictures_domain(n_objects=100, seed=0)
+        # Worker noise dominates the signal for the numeric targets...
+        assert domain.difficulty("bmi") > domain.true_variance("bmi")
+        # ...but not for the easy boolean attributes.
+        assert domain.difficulty("heavy") < domain.true_variance("heavy") * 3
+
+    def test_table4a_dismantle_leaders(self):
+        domain = make_pictures_domain(n_objects=50, seed=0)
+        bmi = domain.dismantle_distribution("bmi")
+        assert bmi["weight"] == pytest.approx(0.33)
+        assert bmi["height"] == pytest.approx(0.33)
+        age = domain.dismantle_distribution("age")
+        assert age["wrinkles"] == pytest.approx(0.15)
+
+    def test_multi_hop_gold_attributes_not_one_hop(self):
+        domain = make_pictures_domain(n_objects=50, seed=0)
+        one_hop = set(domain.spec.taxonomy.related("weight"))
+        gold = domain.gold_standard("weight")
+        assert gold - one_hop, "weight gold must require multi-hop discovery"
+
+
+class TestRecipesCalibration:
+    def test_calories_difficulty_matches_table5b(self):
+        domain = make_recipes_domain(n_objects=50, seed=0)
+        assert domain.difficulty("calories") == pytest.approx(80707.0)
+
+    def test_table4b_protein_dismantles(self):
+        domain = make_recipes_domain(n_objects=50, seed=0)
+        protein = domain.dismantle_distribution("protein")
+        assert protein["has_meat"] == pytest.approx(0.13)
+        assert protein["number_of_eggs"] == pytest.approx(0.04)
+        assert protein["high_protein"] == pytest.approx(0.04)
+        assert protein["vegetarian"] == pytest.approx(0.02)
+
+    def test_protein_quantity_attributes_are_second_hop(self):
+        domain = make_recipes_domain(n_objects=50, seed=0)
+        assert "meat_grams" not in domain.spec.taxonomy.related("protein")
+        assert "meat_grams" in domain.spec.taxonomy.related("has_meat")
+
+    def test_dessert_protein_anticorrelation(self):
+        domain = make_recipes_domain(n_objects=4000, seed=2)
+        corr = np.corrcoef(
+            domain.true_values("protein"), domain.true_values("dessert")
+        )[0, 1]
+        assert -0.6 < corr < -0.2
+
+
+class TestHousesAndLaptops:
+    def test_houses_price_determinants_correlate(self):
+        domain = make_houses_domain(n_objects=3000, seed=2)
+        corr = np.corrcoef(
+            domain.true_values("price"), domain.true_values("rooms")
+        )[0, 1]
+        assert corr > 0.45
+
+    def test_laptops_gold_is_hedonic_set(self):
+        domain = make_laptops_domain(n_objects=50, seed=0)
+        gold = domain.gold_standard("price")
+        assert "cpu_speed" in gold and "ram_gb" in gold
+        assert "sticker_count" not in gold
+
+    def test_houses_gold_excludes_red_herrings(self):
+        domain = make_houses_domain(n_objects=50, seed=0)
+        gold = domain.gold_standard("price")
+        assert "is_painted_white" not in gold
+        assert "street_name_length" not in gold

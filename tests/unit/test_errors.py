@@ -1,0 +1,55 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    DomainError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    UnknownAttributeError,
+    UnknownObjectError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            BudgetExhaustedError,
+            ConfigurationError,
+            DomainError,
+            PlanningError,
+            QueryError,
+            UnknownAttributeError,
+            UnknownObjectError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_unknown_attribute_is_domain_error(self):
+        assert issubclass(UnknownAttributeError, DomainError)
+        assert issubclass(UnknownObjectError, DomainError)
+
+    def test_budget_error_carries_amounts(self):
+        error = BudgetExhaustedError(requested=2.5, remaining=1.0)
+        assert error.requested == 2.5
+        assert error.remaining == 1.0
+        assert "2.50c" in str(error)
+        assert "1.00c" in str(error)
+
+    def test_unknown_attribute_carries_name(self):
+        error = UnknownAttributeError("is_blue")
+        assert error.attribute == "is_blue"
+        assert "is_blue" in str(error)
+
+    def test_unknown_object_carries_id(self):
+        error = UnknownObjectError(42)
+        assert error.object_id == 42
+
+    def test_catching_base_class_catches_all(self):
+        with pytest.raises(ReproError):
+            raise UnknownAttributeError("x")

@@ -1,0 +1,87 @@
+"""Unit tests for the precision/recall and categorical metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    boolean_report,
+    categorical_accuracy,
+    precision_recall_curve,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBooleanReport:
+    def test_perfect_estimates(self, tiny_domain):
+        oids = list(range(30))
+        truth = np.array([tiny_domain.true_value(o, "flag_a") for o in oids])
+        report = boolean_report(tiny_domain, truth, oids, "flag_a")
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.accuracy == 1.0
+
+    def test_inverted_estimates_score_zero(self, tiny_domain):
+        oids = list(range(30))
+        truth = np.array([tiny_domain.true_value(o, "flag_a") for o in oids])
+        report = boolean_report(tiny_domain, 1.0 - truth, oids, "flag_a")
+        assert report.recall < 0.5
+
+    def test_counts_consistent(self, tiny_domain):
+        oids = list(range(40))
+        estimates = np.linspace(0, 1, 40)
+        report = boolean_report(tiny_domain, estimates, oids, "flag_a")
+        assert report.positives_predicted == int(np.sum(estimates >= 0.5))
+
+    def test_misaligned_rejected(self, tiny_domain):
+        with pytest.raises(ConfigurationError):
+            boolean_report(tiny_domain, np.zeros(3), range(5), "flag_a")
+
+    def test_str_is_readable(self, tiny_domain):
+        oids = list(range(10))
+        truth = np.array([tiny_domain.true_value(o, "flag_a") for o in oids])
+        text = str(boolean_report(tiny_domain, truth, oids, "flag_a"))
+        assert "P=" in text and "R=" in text
+
+
+class TestPrecisionRecallCurve:
+    def test_recall_decreases_with_threshold(self, tiny_domain):
+        oids = list(range(50))
+        truth = np.array([tiny_domain.true_value(o, "flag_a") for o in oids])
+        rng = np.random.default_rng(0)
+        noisy = np.clip(truth + rng.normal(0, 0.15, len(oids)), 0, 1)
+        reports = precision_recall_curve(tiny_domain, noisy, oids, "flag_a")
+        recalls = [r.recall for r in reports]
+        assert all(b <= a + 1e-9 for a, b in zip(recalls, recalls[1:]))
+
+    def test_one_report_per_threshold(self, tiny_domain):
+        oids = list(range(10))
+        reports = precision_recall_curve(
+            tiny_domain, np.zeros(10), oids, "flag_a", thresholds=(0.3, 0.6)
+        )
+        assert [r.threshold for r in reports] == [0.3, 0.6]
+
+
+class TestCategoricalAccuracy:
+    def test_perfect_one_hot(self):
+        estimates = {
+            "soup": np.array([0.9, 0.1, 0.2]),
+            "salad": np.array([0.1, 0.8, 0.1]),
+            "cake": np.array([0.0, 0.1, 0.7]),
+        }
+        assert categorical_accuracy(estimates, ["soup", "salad", "cake"]) == 1.0
+
+    def test_partial_accuracy(self):
+        estimates = {
+            "a": np.array([0.9, 0.9]),
+            "b": np.array([0.1, 0.1]),
+        }
+        assert categorical_accuracy(estimates, ["a", "b"]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            categorical_accuracy({}, [])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            categorical_accuracy({"a": np.zeros(2)}, ["a"])

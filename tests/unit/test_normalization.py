@@ -1,0 +1,71 @@
+"""Unit tests for attribute-name normalization."""
+
+from repro.crowd.normalization import AttributeNormalizer, NormalizationMode
+
+
+class TestPerfectMode:
+    def test_synonyms_map_to_canonical(self, tiny_domain):
+        normalizer = AttributeNormalizer(tiny_domain)
+        assert normalizer.normalize("flagged") == "flag_a"
+        assert normalizer.normalize("marked") == "flag_a"
+
+    def test_canonical_names_pass_through(self, tiny_domain):
+        normalizer = AttributeNormalizer(tiny_domain)
+        assert normalizer.normalize("flag_a") == "flag_a"
+        assert normalizer.normalize("target") == "target"
+
+    def test_unknown_names_pass_through(self, tiny_domain):
+        normalizer = AttributeNormalizer(tiny_domain)
+        assert normalizer.normalize("totally_new_thing") == "totally_new_thing"
+
+    def test_known_forms_lists_all_surface_forms(self, tiny_domain):
+        normalizer = AttributeNormalizer(tiny_domain)
+        assert normalizer.known_forms() == {"flagged", "marked"}
+
+
+class TestNoneMode:
+    def test_nothing_is_merged(self, tiny_domain):
+        normalizer = AttributeNormalizer(tiny_domain, mode=NormalizationMode.NONE)
+        assert normalizer.normalize("flagged") == "flagged"
+        assert normalizer.known_forms() == frozenset()
+
+
+class TestImperfectMode:
+    def test_failure_rate_zero_equals_perfect(self, tiny_domain):
+        normalizer = AttributeNormalizer(
+            tiny_domain, mode=NormalizationMode.IMPERFECT, failure_rate=0.0
+        )
+        assert normalizer.normalize("flagged") == "flag_a"
+
+    def test_failure_rate_one_equals_none(self, tiny_domain):
+        normalizer = AttributeNormalizer(
+            tiny_domain, mode=NormalizationMode.IMPERFECT, failure_rate=1.0
+        )
+        assert normalizer.normalize("flagged") == "flagged"
+
+    def test_failures_are_stable_within_a_run(self, tiny_domain):
+        normalizer = AttributeNormalizer(
+            tiny_domain, mode=NormalizationMode.IMPERFECT, failure_rate=0.5, seed=11
+        )
+        first = [normalizer.normalize("flagged") for _ in range(5)]
+        assert len(set(first)) == 1  # always the same outcome
+
+    def test_intermediate_rate_fails_some_forms(self, pictures_domain):
+        # The pictures domain has many surface forms; at 50% some merge
+        # and some leak for at least one seed.
+        for seed in range(5):
+            normalizer = AttributeNormalizer(
+                pictures_domain,
+                mode=NormalizationMode.IMPERFECT,
+                failure_rate=0.5,
+                seed=seed,
+            )
+            all_forms = {
+                form
+                for attribute in pictures_domain.attributes()
+                for form in pictures_domain.synonyms(attribute)
+            }
+            merged = normalizer.known_forms()
+            if merged and merged != all_forms:
+                return
+        raise AssertionError("imperfect mode never produced a partial merge")

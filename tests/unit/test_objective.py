@@ -1,0 +1,97 @@
+"""Unit tests for the expression-2 objective."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import estimation_error, explained_variance
+
+
+def single_attribute_setup(s_o=1.6, s_a=1.0, s_c=1.0):
+    return (
+        np.array([s_o]),
+        np.array([[s_a]]),
+        np.array([s_c]),
+    )
+
+
+class TestExplainedVariance:
+    def test_empty_budget_explains_nothing(self):
+        s_o, s_a, s_c = single_attribute_setup()
+        assert explained_variance(s_o, s_a, s_c, np.array([0])) == 0.0
+
+    def test_single_attribute_closed_form(self):
+        s_o, s_a, s_c = single_attribute_setup(s_o=1.6, s_a=1.0, s_c=1.0)
+        # V = s_o^2 / (s_a + s_c/b)
+        for b in (1, 2, 10):
+            expected = 1.6**2 / (1.0 + 1.0 / b)
+            value = explained_variance(s_o, s_a, s_c, np.array([b]))
+            assert value == pytest.approx(expected)
+
+    def test_monotone_in_question_count(self):
+        s_o, s_a, s_c = single_attribute_setup()
+        values = [
+            explained_variance(s_o, s_a, s_c, np.array([b])) for b in range(1, 12)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_adding_informative_attribute_helps(self):
+        s_o = np.array([1.0, 1.0])
+        s_a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        s_c = np.array([1.0, 1.0])
+        alone = explained_variance(s_o, s_a, s_c, np.array([5, 0]))
+        both = explained_variance(s_o, s_a, s_c, np.array([5, 5]))
+        assert both > alone
+
+    def test_redundant_attribute_adds_little(self):
+        # Perfectly correlated attributes: the second one is redundant.
+        s_o = np.array([1.0, 1.0])
+        s_a = np.array([[1.0, 0.999], [0.999, 1.0]])
+        s_c = np.array([0.001, 0.001])
+        alone = explained_variance(s_o, s_a, s_c, np.array([5, 0]))
+        both = explained_variance(s_o, s_a, s_c, np.array([5, 5]))
+        assert both - alone < 0.05 * alone
+
+    def test_zero_support_subset_ignored(self):
+        s_o = np.array([1.6, 99.0])
+        s_a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        s_c = np.array([1.0, 1.0])
+        only_first = explained_variance(s_o, s_a, s_c, np.array([3, 0]))
+        expected = 1.6**2 / (1.0 + 1.0 / 3)
+        assert only_first == pytest.approx(expected)
+
+    def test_singular_matrix_handled(self):
+        # Duplicate attribute rows with zero noise: singular S_a + noise.
+        s_o = np.array([1.0, 1.0])
+        s_a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        s_c = np.array([0.0, 0.0])
+        value = explained_variance(s_o, s_a, s_c, np.array([1, 1]))
+        assert np.isfinite(value)
+        assert value >= 0.0
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n = rng.integers(1, 5)
+            s_o = rng.normal(size=n)
+            m = rng.normal(size=(n, n))
+            s_a = m @ m.T
+            s_c = rng.uniform(0.01, 1.0, n)
+            counts = rng.integers(0, 4, n)
+            assert explained_variance(s_o, s_a, np.abs(s_c), counts) >= 0.0
+
+
+class TestEstimationError:
+    def test_error_is_variance_minus_explained(self):
+        s_o, s_a, s_c = single_attribute_setup(s_o=1.6, s_a=1.0, s_c=1.0)
+        error = estimation_error(4.0, s_o, s_a, s_c, np.array([4]))
+        expected = 4.0 - 1.6**2 / (1.0 + 0.25)
+        assert error == pytest.approx(expected)
+
+    def test_error_clipped_at_zero(self):
+        s_o, s_a, s_c = single_attribute_setup(s_o=3.0, s_a=1.0, s_c=0.0)
+        # Inconsistent stats would claim V = 9 > Var = 4.
+        assert estimation_error(4.0, s_o, s_a, s_c, np.array([5])) == 0.0
+
+    def test_no_questions_error_is_variance(self):
+        s_o, s_a, s_c = single_attribute_setup()
+        assert estimation_error(4.0, s_o, s_a, s_c, np.array([0])) == 4.0

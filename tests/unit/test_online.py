@@ -1,0 +1,110 @@
+"""Unit tests for the online evaluator and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    BudgetDistribution,
+    EstimationFormula,
+    PreprocessingPlan,
+    Query,
+)
+from repro.core.online import (
+    OnlineEvaluator,
+    default_weights,
+    query_error,
+    target_error,
+)
+from repro.data.table import DataTable
+from repro.errors import ConfigurationError
+
+
+def identity_plan(target: str, n_questions: int = 10) -> PreprocessingPlan:
+    budget = BudgetDistribution({target: n_questions})
+    formula = EstimationFormula(target, {target: 1.0}, 0.0, budget)
+    return PreprocessingPlan(
+        query=Query.single(target),
+        attributes=(target,),
+        budget=budget,
+        formulas={target: formula},
+    )
+
+
+class TestOnlineEvaluator:
+    def test_estimates_converge_to_truth(self, tiny_platform, tiny_domain):
+        evaluator = OnlineEvaluator(tiny_platform, identity_plan("target", 60))
+        estimates = evaluator.evaluate(range(10))
+        truth = np.array([tiny_domain.true_value(o, "target") for o in range(10)])
+        assert np.abs(estimates["target"] - truth).max() < 0.5
+
+    def test_per_object_cost(self, tiny_platform):
+        evaluator = OnlineEvaluator(tiny_platform, identity_plan("target", 10))
+        assert evaluator.per_object_cost() == pytest.approx(4.0)  # 10 x 0.4c
+
+    def test_multiple_plans_merge_targets(self, tiny_platform):
+        evaluator = OnlineEvaluator(
+            tiny_platform,
+            [identity_plan("target", 4), identity_plan("helper", 4)],
+        )
+        estimates = evaluator.estimate_object(0)
+        assert set(estimates) == {"target", "helper"}
+
+    def test_overlapping_plans_rejected(self, tiny_platform):
+        with pytest.raises(ConfigurationError):
+            OnlineEvaluator(
+                tiny_platform, [identity_plan("target"), identity_plan("target")]
+            )
+
+    def test_no_plans_rejected(self, tiny_platform):
+        with pytest.raises(ConfigurationError):
+            OnlineEvaluator(tiny_platform, [])
+
+    def test_fill_table_adds_estimate_columns(self, tiny_platform):
+        table = DataTable(object_ids=[0, 1, 2])
+        evaluator = OnlineEvaluator(tiny_platform, identity_plan("target", 5))
+        evaluator.fill_table(table)
+        assert "target_estimate" in table.attributes
+        assert table.has_value(1, "target_estimate")
+
+    def test_budget_exhaustion_degrades_gracefully(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.pricing import Budget
+
+        platform = CrowdPlatform(tiny_domain, budget=Budget(2.0), seed=0)
+        evaluator = OnlineEvaluator(platform, identity_plan("target", 10))
+        estimates = evaluator.evaluate(range(5))  # 5 objects x 4c > 2c
+        assert len(estimates["target"]) == 5  # still one estimate per object
+
+
+class TestErrorMetrics:
+    def test_target_error_zero_on_truth(self, tiny_domain):
+        truth = np.array([tiny_domain.true_value(o, "target") for o in range(5)])
+        assert target_error(tiny_domain, truth, range(5), "target") == 0.0
+
+    def test_target_error_mse(self, tiny_domain):
+        truth = np.array([tiny_domain.true_value(o, "target") for o in range(5)])
+        off = truth + 2.0
+        assert target_error(tiny_domain, off, range(5), "target") == pytest.approx(4.0)
+
+    def test_misaligned_estimates_rejected(self, tiny_domain):
+        with pytest.raises(ConfigurationError):
+            target_error(tiny_domain, np.zeros(3), range(5), "target")
+
+    def test_query_error_weights_targets(self, tiny_domain):
+        query = Query(targets=("target", "helper"), weights={"target": 2.0})
+        truth_t = np.array([tiny_domain.true_value(o, "target") for o in range(4)])
+        truth_h = np.array([tiny_domain.true_value(o, "helper") for o in range(4)])
+        estimates = {"target": truth_t + 1.0, "helper": truth_h + 1.0}
+        error = query_error(tiny_domain, estimates, range(4), query)
+        assert error == pytest.approx(2.0 * 1.0 + 1.0 * 1.0)
+
+    def test_query_error_missing_target_rejected(self, tiny_domain):
+        query = Query(targets=("target",))
+        with pytest.raises(ConfigurationError):
+            query_error(tiny_domain, {}, range(3), query)
+
+    def test_default_weights_inverse_variance(self, tiny_domain):
+        weights = default_weights(tiny_domain, ("target",))
+        assert weights["target"] == pytest.approx(
+            1.0 / tiny_domain.true_variance("target")
+        )

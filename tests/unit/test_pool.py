@@ -1,0 +1,76 @@
+"""Unit tests for the worker pool."""
+
+import pytest
+
+from repro.crowd.pool import WorkerPool
+from repro.crowd.worker import BiasedWorker, HonestWorker, SpamWorker
+from repro.errors import ConfigurationError
+
+
+class TestPoolComposition:
+    def test_default_pool_is_all_honest(self):
+        pool = WorkerPool(size=50, seed=0)
+        assert len(pool) == 50
+        assert all(type(w) is HonestWorker for w in pool.workers)
+
+    def test_spam_fraction_respected(self):
+        pool = WorkerPool(size=100, seed=0, spam_fraction=0.2)
+        spam = [w for w in pool.workers if isinstance(w, SpamWorker)]
+        assert len(spam) == 20
+
+    def test_biased_fraction_respected(self):
+        pool = WorkerPool(size=100, seed=0, biased_fraction=0.3)
+        biased = [w for w in pool.workers if isinstance(w, BiasedWorker)]
+        assert len(biased) == 30
+
+    def test_mixed_composition(self):
+        pool = WorkerPool(size=100, seed=0, spam_fraction=0.1, biased_fraction=0.2)
+        spam = sum(isinstance(w, SpamWorker) for w in pool.workers)
+        biased = sum(isinstance(w, BiasedWorker) for w in pool.workers)
+        assert (spam, biased) == (10, 20)
+
+    def test_worker_ids_are_stable_and_unique(self):
+        pool = WorkerPool(size=30, seed=0)
+        assert [w.worker_id for w in pool.workers] == list(range(30))
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(size=10, spam_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkerPool(size=10, spam_fraction=0.6, biased_fraction=0.6)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(size=0)
+
+    def test_skill_spread_produces_heterogeneous_workers(self):
+        pool = WorkerPool(size=50, seed=0, skill_spread=0.5)
+        skills = {w.skill for w in pool.workers}
+        assert len(skills) > 10
+
+
+class TestPoolSampling:
+    def test_draw_returns_pool_members(self):
+        pool = WorkerPool(size=10, seed=0)
+        for _ in range(50):
+            assert pool.draw() in pool.workers
+
+    def test_draw_covers_population(self):
+        pool = WorkerPool(size=10, seed=0)
+        seen = {pool.draw().worker_id for _ in range(300)}
+        assert seen == set(range(10))
+
+    def test_draw_distinct_returns_unique_workers(self):
+        pool = WorkerPool(size=20, seed=0)
+        drawn = pool.draw_distinct(15)
+        assert len({w.worker_id for w in drawn}) == 15
+
+    def test_draw_distinct_beyond_population_falls_back(self):
+        pool = WorkerPool(size=5, seed=0)
+        drawn = pool.draw_distinct(12)
+        assert len(drawn) == 12
+
+    def test_same_seed_reproducible(self):
+        ids_a = [WorkerPool(size=10, seed=4).draw().worker_id for _ in range(1)]
+        ids_b = [WorkerPool(size=10, seed=4).draw().worker_id for _ in range(1)]
+        assert ids_a == ids_b

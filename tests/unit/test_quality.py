@@ -1,0 +1,94 @@
+"""Unit tests for gold-question worker quality management."""
+
+import pytest
+
+from repro.crowd.pool import WorkerPool
+from repro.crowd.quality import GoldQuestionScreen, ReputationTracker, ScreenedPool
+from repro.crowd.worker import SpamWorker
+from repro.errors import ConfigurationError
+
+
+class TestReputationTracker:
+    def test_unprobed_worker_has_perfect_accuracy(self):
+        tracker = ReputationTracker()
+        assert tracker.accuracy(7) == 1.0
+        assert tracker.probed(7) == 0
+
+    def test_accuracy_tracks_outcomes(self):
+        tracker = ReputationTracker()
+        tracker.record(1, True)
+        tracker.record(1, True)
+        tracker.record(1, False)
+        assert tracker.accuracy(1) == pytest.approx(2 / 3)
+        assert tracker.probed(1) == 3
+
+
+class TestGoldQuestionScreen:
+    def test_honest_workers_pass(self, tiny_domain):
+        pool = WorkerPool(size=30, seed=0)
+        screen = GoldQuestionScreen(questions_per_worker=5, seed=1)
+        tracker = screen.screen(pool, tiny_domain)
+        banned = [w.worker_id for w in pool.workers if screen.banned(tracker, w.worker_id)]
+        assert len(banned) <= 2  # 3-sigma window: rare false bans
+
+    def test_spammers_get_banned(self, tiny_domain):
+        pool = WorkerPool(size=40, seed=0, spam_fraction=0.5)
+        screen = GoldQuestionScreen(questions_per_worker=6, seed=1)
+        tracker = screen.screen(pool, tiny_domain)
+        spam_ids = {
+            w.worker_id for w in pool.workers if isinstance(w, SpamWorker)
+        }
+        banned = {
+            w.worker_id
+            for w in pool.workers
+            if screen.banned(tracker, w.worker_id)
+        }
+        # Most spammers are caught, few honest workers are collateral.
+        assert len(banned & spam_ids) >= len(spam_ids) * 0.6
+        assert len(banned - spam_ids) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GoldQuestionScreen(questions_per_worker=0)
+        with pytest.raises(ConfigurationError):
+            GoldQuestionScreen(tolerance_sigmas=0.0)
+        with pytest.raises(ConfigurationError):
+            GoldQuestionScreen(min_accuracy=0.0)
+
+
+class TestScreenedPool:
+    def test_serves_only_surviving_workers(self, tiny_domain):
+        pool = WorkerPool(size=40, seed=0, spam_fraction=0.4)
+        screen = GoldQuestionScreen(questions_per_worker=6, seed=1)
+        tracker = screen.screen(pool, tiny_domain)
+        screened = ScreenedPool(pool, tracker, screen)
+        assert len(screened) < len(pool)
+        allowed_ids = {w.worker_id for w in screened.workers}
+        for _ in range(100):
+            assert screened.draw().worker_id in allowed_ids
+
+    def test_screened_pool_improves_answer_quality(self, tiny_domain):
+        import numpy as np
+
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+
+        pool = WorkerPool(size=60, seed=0, spam_fraction=0.4)
+        screen = GoldQuestionScreen(questions_per_worker=6, seed=1)
+        screened = ScreenedPool(pool, screen.screen(pool, tiny_domain), screen)
+
+        raw_platform = CrowdPlatform(tiny_domain, pool=pool, recorder=AnswerRecorder())
+        clean_platform = CrowdPlatform(
+            tiny_domain, pool=screened, recorder=AnswerRecorder()
+        )
+        truth = tiny_domain.true_value(0, "target")
+        raw = np.mean([np.abs(np.array(raw_platform.ask_value(0, "target", 50)) - truth).mean() for _ in range(3)])
+        clean = np.mean([np.abs(np.array(clean_platform.ask_value(0, "target", 50)) - truth).mean() for _ in range(3)])
+        assert clean < raw
+
+    def test_everyone_banned_raises(self, tiny_domain):
+        pool = WorkerPool(size=5, seed=0, spam_fraction=1.0)
+        screen = GoldQuestionScreen(questions_per_worker=8, seed=1)
+        tracker = screen.screen(pool, tiny_domain)
+        with pytest.raises(ConfigurationError):
+            ScreenedPool(pool, tracker, screen)

@@ -1,0 +1,81 @@
+"""Unit tests for the mini-SQL query parser."""
+
+import math
+
+import pytest
+
+from repro.data.query import parse_query
+from repro.errors import QueryError
+
+
+class TestSelectList:
+    def test_single_attribute(self):
+        parsed = parse_query("select protein from recipes")
+        assert parsed.select == ("protein",)
+        assert parsed.table == "recipes"
+        assert parsed.attributes == {"protein"}
+
+    def test_multiple_attributes(self):
+        parsed = parse_query("select calories, protein from cc")
+        assert parsed.select == ("calories", "protein")
+
+    def test_case_insensitive_keywords(self):
+        parsed = parse_query("SELECT protein FROM recipes WHERE dessert = TRUE")
+        assert parsed.select == ("protein",)
+        assert parsed.predicates["dessert"] == (1.0, 1.0)
+
+    def test_star_is_allowed_with_predicates(self):
+        parsed = parse_query("select * from cc where calories < 300")
+        assert parsed.select == ()
+        assert parsed.attributes == {"calories"}
+
+    def test_duplicate_select_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("select a, a from t")
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_query("select a from t;").select == ("a",)
+
+
+class TestWhere:
+    def test_paper_running_example(self):
+        parsed = parse_query(
+            "select number_of_calories, protein_amount from CC where dessert = true"
+        )
+        assert parsed.attributes == {
+            "number_of_calories",
+            "protein_amount",
+            "dessert",
+        }
+
+    def test_comparison_operators(self):
+        parsed = parse_query(
+            "select a from t where x < 5 and y >= 2 and z = 3"
+        )
+        assert parsed.predicates["x"] == (-math.inf, 5.0)
+        assert parsed.predicates["y"] == (2.0, math.inf)
+        assert parsed.predicates["z"] == (3.0, 3.0)
+
+    def test_conjunction_intersects_ranges(self):
+        parsed = parse_query("select a from t where x > 1 and x < 9")
+        assert parsed.predicates["x"] == (1.0, 9.0)
+
+    def test_boolean_literals(self):
+        parsed = parse_query("select a from t where flag = false")
+        assert parsed.predicates["flag"] == (0.0, 0.0)
+
+    def test_or_not_supported(self):
+        with pytest.raises(QueryError):
+            parse_query("select a from t where x = 1 or y = 2")
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("select a from t where x = banana")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("insert into t values (1)")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("")

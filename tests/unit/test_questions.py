@@ -1,0 +1,63 @@
+"""Unit tests for the question value objects and params helper."""
+
+import pytest
+
+from repro.crowd.questions import (
+    DismantlingQuestion,
+    ExampleQuestion,
+    Question,
+    ValueQuestion,
+    VerificationQuestion,
+)
+
+
+class TestQuestionKinds:
+    def test_kinds_match_ledger_categories(self):
+        from repro.crowd.pricing import CATEGORIES
+
+        kinds = {
+            ValueQuestion(0, "a").kind,
+            DismantlingQuestion("a").kind,
+            VerificationQuestion("a", "b").kind,
+            ExampleQuestion(("a",)).kind,
+        }
+        assert kinds == set(CATEGORIES)
+
+    def test_questions_are_hashable_value_objects(self):
+        assert ValueQuestion(1, "a") == ValueQuestion(1, "a")
+        assert ValueQuestion(1, "a") != ValueQuestion(2, "a")
+        assert len({DismantlingQuestion("x"), DismantlingQuestion("x")}) == 1
+
+    def test_base_kind_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Question().kind
+
+    def test_example_targets_tuple(self):
+        question = ExampleQuestion(("calories", "protein"))
+        assert question.targets == ("calories", "protein")
+
+
+class TestWithParams:
+    def test_overrides_applied_to_defaults(self):
+        from repro.core.disq import DisQParams, with_params
+
+        params = with_params(None, n1=33, dismantling=False)
+        assert params.n1 == 33
+        assert not params.dismantling
+        assert params.k == 2  # untouched default
+
+    def test_overrides_preserve_base(self):
+        from repro.core.disq import DisQParams, with_params
+
+        base = DisQParams(n1=77, rho_constant=0.3)
+        derived = with_params(base, dismantling=False)
+        assert derived.n1 == 77
+        assert derived.rho_constant == 0.3
+        assert base.dismantling  # base untouched
+
+    def test_invalid_override_rejected(self):
+        from repro.core.disq import with_params
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            with_params(None, candidate_policy="nonsense")

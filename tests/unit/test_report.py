@@ -1,0 +1,63 @@
+"""Unit tests for the ASCII report renderer."""
+
+import math
+
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_precision_applied_to_floats(self):
+        text = render_table(["v"], [[0.123456]], precision=2)
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+    def test_strings_and_ints_pass_through(self):
+        text = render_table(["a", "b"], [["name", 7]])
+        assert "name" in text and "7" in text
+
+    def test_empty_rows_render_headers_only(self):
+        text = render_table(["x", "y"], [])
+        lines = text.splitlines()
+        assert len(lines) == 2  # header + rule
+        assert "x" in lines[0]
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1.0]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_columns_aligned(self):
+        text = render_table(
+            ["name", "value"], [["short", 1.0], ["a_much_longer_name", 2.0]]
+        )
+        lines = text.splitlines()
+        # All data lines start their second column at the same offset.
+        offset_a = lines[2].index("1.0000")
+        offset_b = lines[3].index("2.0000")
+        assert offset_a == offset_b
+
+    def test_nan_and_inf_markers(self):
+        text = render_table(["v"], [[math.nan], [math.inf]])
+        assert "-" in text
+        assert "inf" in text
+
+
+class TestRenderSeries:
+    def test_budget_column_first(self):
+        series = {"A": [(0.4, 0.1), (1.0, 0.05)]}
+        text = render_series(series, "B_obj")
+        lines = text.splitlines()
+        assert lines[0].startswith("B_obj")
+        assert lines[2].startswith("0.4")
+
+    def test_multiple_algorithms_side_by_side(self):
+        series = {
+            "A": [(1.0, 0.1)],
+            "B": [(1.0, 0.2)],
+        }
+        text = render_series(series, "x")
+        assert "A" in text.splitlines()[0]
+        assert "B" in text.splitlines()[0]
+        assert "0.1000" in text and "0.2000" in text
+
+    def test_empty_series(self):
+        assert render_series({}, "x") == "x\n-"

@@ -1,0 +1,75 @@
+"""Unit tests for the spam filters."""
+
+import pytest
+
+from repro.crowd.spam import AgreementSpamFilter, ZScoreSpamFilter
+from repro.errors import ConfigurationError
+
+
+class TestZScoreSpamFilter:
+    def test_small_batches_pass_through(self):
+        filt = ZScoreSpamFilter(min_batch=3)
+        assert filt.filter([1.0, 100.0]) == [1.0, 100.0]
+
+    def test_obvious_outlier_dropped(self):
+        filt = ZScoreSpamFilter(threshold=3.0)
+        answers = [10.0, 10.2, 9.9, 10.1, 10.0, 500.0]
+        kept = filt.filter(answers)
+        assert 500.0 not in kept
+        assert len(kept) == 5
+
+    def test_clean_batch_untouched(self):
+        filt = ZScoreSpamFilter()
+        answers = [9.8, 10.0, 10.2, 10.1, 9.9]
+        assert filt.filter(answers) == answers
+
+    def test_exact_agreement_majority_kept(self):
+        filt = ZScoreSpamFilter()
+        answers = [1.0, 1.0, 1.0, 7.0]
+        kept = filt.filter(answers)
+        assert kept == [1.0, 1.0, 1.0]
+
+    def test_never_returns_empty(self):
+        filt = ZScoreSpamFilter()
+        kept = filt.filter([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert kept
+
+    def test_order_preserved(self):
+        filt = ZScoreSpamFilter()
+        answers = [3.0, 1.0, 2.0, 2.5, 1000.0, 1.5]
+        kept = filt.filter(answers)
+        assert kept == [a for a in answers if a != 1000.0]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZScoreSpamFilter(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ZScoreSpamFilter(min_batch=1)
+
+
+class TestAgreementSpamFilter:
+    def test_largest_cluster_kept(self):
+        filt = AgreementSpamFilter(tolerance=0.5)
+        answers = [10.0, 10.1, 9.9, 10.05, 50.0, 51.0]
+        kept = filt.filter(answers)
+        assert all(a < 20 for a in kept)
+        assert len(kept) == 4
+
+    def test_small_batches_pass_through(self):
+        filt = AgreementSpamFilter(min_batch=4)
+        assert filt.filter([1.0, 9.0, 5.0]) == [1.0, 9.0, 5.0]
+
+    def test_identical_answers_untouched(self):
+        filt = AgreementSpamFilter()
+        answers = [2.0, 2.0, 2.0, 2.0]
+        assert filt.filter(answers) == answers
+
+    def test_never_returns_empty(self):
+        filt = AgreementSpamFilter()
+        assert filt.filter([1.0, 2.0, 3.0, 4.0])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgreementSpamFilter(tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            AgreementSpamFilter(min_batch=1)

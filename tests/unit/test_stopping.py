@@ -1,0 +1,90 @@
+"""Unit tests for the preprocessing budget manager (stopping rule)."""
+
+import pytest
+
+from repro.core.regression import recommended_training_size
+from repro.core.stopping import PreprocessingBudgetManager
+from repro.crowd.pricing import Budget, PriceSchedule
+from repro.errors import ConfigurationError
+
+
+def manager(total_cents=3000.0, b_obj=4.0, n1=80, k=2, n_targets=1) -> PreprocessingBudgetManager:
+    return PreprocessingBudgetManager(
+        budget=Budget(total_cents),
+        prices=PriceSchedule(),
+        b_obj_cents=b_obj,
+        n1=n1,
+        k=k,
+        n_targets=n_targets,
+    )
+
+
+class TestTrainingCostEstimate:
+    def test_eventually_grows_with_attribute_count(self):
+        # At small n the answer-reuse discount can shrink the projection
+        # (more attributes overlap the k pre-collected answers); once N_2
+        # outgrows N_1 the 8-examples-per-attribute term dominates.
+        m = manager()
+        costs = [m.training_cost_estimate(n) for n in (5, 10, 20, 40)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+        assert all(c >= 0 for c in costs)
+
+    def test_extra_examples_charged_beyond_n1(self):
+        m = manager(n1=10)
+        n2 = recommended_training_size(3)
+        cost = m.training_cost_estimate(3)
+        # (N2 - N1) fresh examples at 5c each are part of the bill.
+        assert cost >= (n2 - 10) * 5.0
+
+    def test_grows_with_b_obj(self):
+        cheap = manager(b_obj=1.0).training_cost_estimate(5)
+        pricey = manager(b_obj=10.0).training_cost_estimate(5)
+        assert pricey > cheap
+
+    def test_scales_with_target_count(self):
+        single = manager(n_targets=1).training_cost_estimate(5)
+        double = manager(n_targets=2).training_cost_estimate(5)
+        assert double == pytest.approx(2 * single)
+
+
+class TestNextRoundCost:
+    def test_includes_dismantle_and_verification(self):
+        m = manager()
+        cost = m.next_round_cost(expected_pools=0.0)
+        assert cost >= PriceSchedule().dismantle
+
+    def test_grows_with_expected_pools(self):
+        m = manager()
+        assert m.next_round_cost(2.0) > m.next_round_cost(1.0)
+
+
+class TestShouldContinue:
+    def test_ample_budget_continues(self):
+        assert manager(total_cents=100000.0).should_continue(3)
+
+    def test_exhausted_budget_stops(self):
+        m = manager(total_cents=3000.0)
+        m.budget.charge(2999.0)
+        assert not m.should_continue(3)
+
+    def test_higher_b_obj_stops_earlier(self):
+        # The paper's Protein anomaly: larger B_obj -> larger projected
+        # training cost -> dismantling stops at a smaller attribute set.
+        def rounds_allowed(b_obj):
+            m = manager(total_cents=4000.0, b_obj=b_obj, n1=60)
+            n = 1
+            while m.should_continue(n) and n < 200:
+                n += 1
+            return n
+
+        assert rounds_allowed(10.0) < rounds_allowed(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PreprocessingBudgetManager(
+                Budget(10), PriceSchedule(), 4.0, n1=1, k=2, n_targets=1
+            )
+        with pytest.raises(ConfigurationError):
+            PreprocessingBudgetManager(
+                Budget(10), PriceSchedule(), 4.0, n1=10, k=2, n_targets=0
+            )

@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic domain generator."""
+
+import numpy as np
+import pytest
+
+from repro.domains.synthetic import make_synthetic_domain
+from repro.errors import ConfigurationError
+
+
+class TestGeneration:
+    def test_basic_shape(self):
+        domain = make_synthetic_domain(n_attributes=10, n_objects=100, seed=0)
+        assert len(domain.attributes()) == 10
+        assert domain.n_objects() == 100
+
+    def test_reproducible(self):
+        a = make_synthetic_domain(n_attributes=8, n_objects=50, seed=5)
+        b = make_synthetic_domain(n_attributes=8, n_objects=50, seed=5)
+        assert a.true_value(0, "attr_00") == b.true_value(0, "attr_00")
+
+    def test_difficulties_within_range(self):
+        domain = make_synthetic_domain(
+            n_attributes=12, difficulty_range=(0.1, 2.0), seed=1
+        )
+        for attribute in domain.attributes():
+            if not domain.is_binary(attribute):
+                assert 0.1 <= domain.difficulty(attribute) <= 2.0
+
+    def test_binary_fraction(self):
+        domain = make_synthetic_domain(
+            n_attributes=20, binary_fraction=0.5, seed=2
+        )
+        binary = sum(domain.is_binary(a) for a in domain.attributes())
+        assert binary == 10
+
+    def test_correlation_structure_is_nontrivial(self):
+        domain = make_synthetic_domain(n_attributes=10, n_objects=500, seed=3)
+        corr = np.corrcoef(
+            np.array([domain.true_values(a) for a in domain.attributes()])
+        )
+        off_diagonal = corr[~np.eye(10, dtype=bool)]
+        assert np.abs(off_diagonal).max() > 0.3
+
+
+class TestTaxonomyFromCorrelation:
+    def test_taxonomy_follows_correlation(self):
+        domain = make_synthetic_domain(
+            n_attributes=10, n_objects=500, min_rho=0.3, seed=4
+        )
+        for attribute in domain.attributes():
+            for answer in domain.spec.taxonomy.related(attribute):
+                # The generator only links correlated attributes (the
+                # spec correlation, realized with sampling slack).
+                assert domain.relevance(attribute, answer) > 0.1
+
+    def test_informative_mass_bounded(self):
+        domain = make_synthetic_domain(n_attributes=10, informative_mass=0.6, seed=5)
+        for attribute in domain.attributes():
+            related = domain.spec.taxonomy.edges.get(attribute, {})
+            assert sum(related.values()) <= 0.6 + 1e-9
+
+
+class TestValidation:
+    def test_too_few_attributes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_domain(n_attributes=1)
+
+    def test_bad_informative_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_domain(informative_mass=0.0)
+
+    def test_bad_difficulty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_domain(difficulty_range=(2.0, 1.0))

@@ -1,0 +1,97 @@
+"""Unit tests for the DataTable substrate."""
+
+import math
+
+import pytest
+
+from repro.data.table import DataTable
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def table():
+    return DataTable(
+        object_ids=[10, 20, 30],
+        columns={"calories": [100.0, None, 300.0], "protein": [5.0, 10.0, 15.0]},
+    )
+
+
+class TestConstruction:
+    def test_shape(self, table):
+        assert len(table) == 3
+        assert table.object_ids == (10, 20, 30)
+        assert set(table.attributes) == {"calories", "protein"}
+
+    def test_duplicate_object_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataTable([1, 1, 2])
+
+    def test_misaligned_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataTable([1, 2], columns={"x": [1.0]})
+
+    def test_contains(self, table):
+        assert "calories" in table
+        assert "fat" not in table
+
+
+class TestCellAccess:
+    def test_get_existing_value(self, table):
+        assert table.get(10, "calories") == 100.0
+
+    def test_get_missing_cell_is_nan(self, table):
+        assert math.isnan(table.get(20, "calories"))
+
+    def test_get_absent_column_is_nan(self, table):
+        assert math.isnan(table.get(10, "fat"))
+
+    def test_set_creates_column(self, table):
+        table.set(20, "fat", 7.5)
+        assert table.get(20, "fat") == 7.5
+        assert math.isnan(table.get(10, "fat"))
+
+    def test_has_value(self, table):
+        assert table.has_value(10, "calories")
+        assert not table.has_value(20, "calories")
+
+    def test_missing_count(self, table):
+        assert table.missing_count("calories") == 1
+        assert table.missing_count("protein") == 0
+        assert table.missing_count("fat") == 3
+
+    def test_column_returns_copy(self, table):
+        column = table.column("protein")
+        column[0] = -1.0
+        assert table.get(10, "protein") == 5.0
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(ConfigurationError):
+            table.column("fat")
+
+
+class TestSelect:
+    def test_projection(self, table):
+        projected = table.select(["protein"])
+        assert projected.attributes == ("protein",)
+        assert len(projected) == 3
+
+    def test_range_predicate_filters_rows(self, table):
+        result = table.select(["protein"], where={"protein": (6.0, 20.0)})
+        assert result.object_ids == (20, 30)
+
+    def test_missing_values_fail_predicates(self, table):
+        result = table.select(["calories"], where={"calories": (0.0, 1000.0)})
+        assert result.object_ids == (10, 30)  # row 20 has NaN calories
+
+    def test_equality_predicate_via_degenerate_range(self, table):
+        result = table.select(["protein"], where={"protein": (10.0, 10.0)})
+        assert result.object_ids == (20,)
+
+    def test_select_absent_column_gives_missing(self, table):
+        result = table.select(["fat"])
+        assert all(math.isnan(result.get(oid, "fat")) for oid in result.object_ids)
+
+    def test_to_rows(self, table):
+        rows = table.to_rows()
+        assert rows[0]["object_id"] == 10
+        assert rows[0]["protein"] == 5.0

@@ -1,0 +1,68 @@
+"""Unit tests for dismantling taxonomies."""
+
+import pytest
+
+from repro.domains.base import IRRELEVANT
+from repro.domains.taxonomy import DismantleTaxonomy
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def taxonomy():
+    return DismantleTaxonomy(
+        edges={
+            "bmi": {"weight": 0.4, "height": 0.4},
+            "age": {"wrinkles": 1.0},
+        }
+    )
+
+
+class TestDistribution:
+    def test_shortfall_becomes_irrelevant_mass(self, taxonomy):
+        distribution = taxonomy.distribution("bmi")
+        assert distribution["weight"] == 0.4
+        assert distribution[IRRELEVANT] == pytest.approx(0.2)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_fully_specified_has_no_irrelevant(self, taxonomy):
+        distribution = taxonomy.distribution("age")
+        assert IRRELEVANT not in distribution
+
+    def test_unknown_attribute_is_all_irrelevant(self, taxonomy):
+        distribution = taxonomy.distribution("mystery")
+        assert distribution == {IRRELEVANT: 1.0}
+
+    def test_related_lists_positive_mass_only(self):
+        taxonomy = DismantleTaxonomy(edges={"a": {"b": 0.5, "c": 0.0}})
+        assert taxonomy.related("a") == ("b",)
+
+    def test_all_mentioned(self, taxonomy):
+        assert taxonomy.all_mentioned() == {"bmi", "weight", "height", "age", "wrinkles"}
+
+
+class TestValidation:
+    def test_over_unit_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DismantleTaxonomy(edges={"a": {"b": 0.7, "c": 0.7}})
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DismantleTaxonomy(edges={"a": {"b": -0.1}})
+
+
+class TestDegradation:
+    def test_extra_irrelevant_scales_informative_mass(self, taxonomy):
+        degraded = taxonomy.with_extra_irrelevant(0.5)
+        distribution = degraded.distribution("bmi")
+        assert distribution["weight"] == pytest.approx(0.2)
+        assert distribution[IRRELEVANT] == pytest.approx(0.6)
+
+    def test_degradation_preserves_original(self, taxonomy):
+        taxonomy.with_extra_irrelevant(0.5)
+        assert taxonomy.distribution("bmi")["weight"] == 0.4
+
+    def test_invalid_extra_rejected(self, taxonomy):
+        with pytest.raises(ConfigurationError):
+            taxonomy.with_extra_irrelevant(1.0)
+        with pytest.raises(ConfigurationError):
+            taxonomy.with_extra_irrelevant(-0.1)

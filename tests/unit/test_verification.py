@@ -1,0 +1,94 @@
+"""Unit tests for the sequential (SPRT) verifier."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.verification import SequentialVerifier
+from repro.errors import ConfigurationError
+
+
+def vote_stream(probability_yes: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return lambda: bool(rng.random() < probability_yes)
+
+
+class TestDecisions:
+    def test_unanimous_yes_accepts_quickly(self):
+        verifier = SequentialVerifier(reliability=0.8)
+        result = verifier.verify(lambda: True)
+        assert result.accepted
+        assert result.decided_early
+        assert result.votes_used <= 3
+
+    def test_unanimous_no_rejects_quickly(self):
+        verifier = SequentialVerifier(reliability=0.8)
+        result = verifier.verify(lambda: False)
+        assert not result.accepted
+        assert result.decided_early
+        assert result.votes_used <= 3
+
+    def test_relevant_candidate_usually_accepted(self):
+        verifier = SequentialVerifier(reliability=0.8, alpha=0.1, beta=0.1)
+        accepted = sum(
+            verifier.verify(vote_stream(0.8, seed)).accepted for seed in range(100)
+        )
+        assert accepted >= 80
+
+    def test_irrelevant_candidate_usually_rejected(self):
+        verifier = SequentialVerifier(reliability=0.8, alpha=0.1, beta=0.1)
+        accepted = sum(
+            verifier.verify(vote_stream(0.2, seed)).accepted for seed in range(100)
+        )
+        assert accepted <= 20
+
+    def test_cap_forces_majority_decision(self):
+        verifier = SequentialVerifier(reliability=0.6, max_votes=4)
+        votes = iter([True, False, True, False])
+        result = verifier.verify(lambda: next(votes))
+        assert result.votes_used == 4
+        assert not result.decided_early
+        assert not result.accepted  # tie -> not a strict majority
+
+    def test_votes_recorded_in_order(self):
+        verifier = SequentialVerifier(reliability=0.9)
+        votes = iter([True, False, True, True, True])
+        result = verifier.verify(lambda: next(votes))
+        assert list(result.votes) == [True, False, True, True][: result.votes_used] or (
+            result.votes[0] is True
+        )
+
+
+class TestExpectedVotes:
+    def test_expected_votes_positive_and_capped(self):
+        verifier = SequentialVerifier(reliability=0.8, max_votes=15)
+        for relevant in (True, False):
+            expected = verifier.expected_votes(relevant)
+            assert 1.0 <= expected <= 15.0
+
+    def test_higher_reliability_means_fewer_votes(self):
+        sloppy = SequentialVerifier(reliability=0.6)
+        sharp = SequentialVerifier(reliability=0.95)
+        assert sharp.expected_votes(True) < sloppy.expected_votes(True)
+
+    def test_tighter_errors_mean_more_votes(self):
+        loose = SequentialVerifier(alpha=0.2, beta=0.2)
+        tight = SequentialVerifier(alpha=0.01, beta=0.01, max_votes=100)
+        assert tight.expected_votes(True) > loose.expected_votes(True)
+
+
+class TestValidation:
+    def test_reliability_must_exceed_half(self):
+        with pytest.raises(ConfigurationError):
+            SequentialVerifier(reliability=0.5)
+        with pytest.raises(ConfigurationError):
+            SequentialVerifier(reliability=1.0)
+
+    def test_error_rates_bounded(self):
+        with pytest.raises(ConfigurationError):
+            SequentialVerifier(alpha=0.6)
+        with pytest.raises(ConfigurationError):
+            SequentialVerifier(beta=0.0)
+
+    def test_max_votes_positive(self):
+        with pytest.raises(ConfigurationError):
+            SequentialVerifier(max_votes=0)
