@@ -1,0 +1,76 @@
+"""Fault injection — resilience of the planners to a flaky crowd.
+
+Beyond the paper's assumptions: workers time out, abandon questions
+and return garbage answers at increasing rates.  The resilience layer
+(retries with backoff, worker quarantine, graceful plan degradation)
+must keep every algorithm returning a usable plan, and DisQ's lead
+over the baselines should survive moderate fault rates.
+
+Two checks per sweep point:
+
+* liveness  — no run dies with an unhandled exception, every error is
+  finite (a plan was produced and applied online);
+* trend     — at the paper-ish fault rates (<= 10%) DisQ still beats
+  NaiveAverage, i.e. faults degrade the answer stream without erasing
+  the value of preprocessing.
+"""
+
+import math
+
+from benchmarks.common import (
+    B_OBJ_FIXED,
+    B_PRC_FIXED,
+    BENCH_CONFIG,
+    pictures_domain,
+    write_report,
+)
+from repro.experiments import render_table
+from repro.experiments.robustness import with_fault_profile
+from repro.experiments.runner import make_query
+
+ALGOS = ["DisQ", "SimpleDisQ", "NaiveAverage"]
+
+#: Injected per-question fault rates (each of timeout/abandon/garbage
+#: gets a share of the rate; see FaultProfile.uniform).
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+def test_fault_sweep(benchmark):
+    """flt1: fault rate sweep — liveness everywhere, trend at <= 10%."""
+    domain = pictures_domain()
+    query = make_query(domain, ("bmi",))
+
+    def run():
+        return with_fault_profile(
+            ALGOS,
+            domain,
+            query,
+            B_OBJ_FIXED,
+            B_PRC_FIXED,
+            BENCH_CONFIG,
+            fault_rates=FAULT_RATES,
+        )
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    rows = [
+        [f"rate={rate:.2f}", *(errors[a] for a in ALGOS)]
+        for rate, errors in results.items()
+    ]
+    write_report(
+        "flt1_fault_sweep",
+        render_table(
+            ["fault profile", *ALGOS], rows, title="flt1_fault_sweep"
+        ),
+    )
+
+    # Liveness: every algorithm produced a plan and finite error at
+    # every fault rate — the resilience layer absorbed the faults.
+    for rate, errors in results.items():
+        for name, error in errors.items():
+            assert math.isfinite(error), (rate, name, error)
+
+    # Trend: preprocessing still pays off under moderate faults.
+    for rate in (0.0, 0.05, 0.1):
+        errors = results[rate]
+        assert errors["DisQ"] < errors["NaiveAverage"], (rate, errors)

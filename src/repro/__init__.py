@@ -51,8 +51,13 @@ from repro.crowd import (
     AttributeNormalizer,
     Budget,
     CrowdPlatform,
+    FaultProfile,
+    FaultRates,
     NormalizationMode,
     PriceSchedule,
+    ResilienceReport,
+    RetryPolicy,
+    WorkerCircuitBreaker,
     WorkerPool,
 )
 from repro.data import DataTable, parse_query
@@ -68,7 +73,10 @@ from repro.domains import (
 from repro.errors import (
     BudgetExhaustedError,
     ConfigurationError,
+    CrowdFaultError,
+    CrowdTimeoutError,
     DomainError,
+    MalformedAnswerError,
     PlanningError,
     QueryError,
     ReproError,
@@ -83,14 +91,19 @@ __all__ = [
     "BudgetDistribution",
     "BudgetExhaustedError",
     "ConfigurationError",
+    "CrowdFaultError",
     "CrowdPlatform",
+    "CrowdTimeoutError",
     "DataTable",
     "DisQParams",
     "DisQPlanner",
     "Domain",
     "DomainError",
     "EstimationFormula",
+    "FaultProfile",
+    "FaultRates",
     "GaussianDomain",
+    "MalformedAnswerError",
     "NaiveAverage",
     "NormalizationMode",
     "OnlineEvaluator",
@@ -100,7 +113,10 @@ __all__ = [
     "Query",
     "QueryError",
     "ReproError",
+    "ResilienceReport",
+    "RetryPolicy",
     "StatisticsStore",
+    "WorkerCircuitBreaker",
     "WorkerPool",
     "default_weights",
     "make_full_planner",

@@ -45,9 +45,18 @@ from repro.crowd.verification import SequentialVerifier
 from repro.errors import (
     BudgetExhaustedError,
     ConfigurationError,
+    CrowdFaultError,
     PlanningError,
     UnknownAttributeError,
 )
+
+#: Consecutive crowd-fault failures after which a collection loop gives
+#: up on its current goal (pool filling, attribute measurement) and the
+#: degradation path takes over.
+FAULT_STRIKE_LIMIT = 3
+
+#: Total fault strikes after which the dismantling loop stops asking.
+DISMANTLE_FAULT_LIMIT = 5
 
 
 @dataclass(frozen=True)
@@ -102,6 +111,15 @@ class DisQParams:
         because its optimistic gain ignores the redundancy of answers
         with the already-discovered set; without a floor the argmax can
         grind thousands of questions out of one exhausted attribute.
+    graceful_degradation:
+        When True, a starved or fault-ridden preprocessing phase
+        salvages a partial plan from whatever statistics were gathered
+        (fewer attributes, smaller pools, an even query-attribute
+        allocation as the last resort) instead of raising
+        :class:`~repro.errors.PlanningError`; what was given up is
+        recorded in the plan's
+        :class:`~repro.crowd.faults.ResilienceReport`.  Off by default
+        so the paper-faithful abort behavior is unchanged.
     """
 
     k: int = 2
@@ -118,6 +136,7 @@ class DisQParams:
     example_pooling: str = "shared"
     formula_family: str = "linear"
     min_probability_new: float = 0.02
+    graceful_degradation: bool = False
 
     def __post_init__(self) -> None:
         if self.candidate_policy not in ("all", "query_only"):
@@ -192,6 +211,8 @@ class DisQPlanner:
         self._discovery_log: list[tuple[str, str, bool]] = []
         self._rejected: set[tuple[str, str]] = set()
         self._rounds = 0
+        self._degradations: list[str] = []
+        self._dismantle_fault_strikes = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -222,8 +243,15 @@ class DisQPlanner:
         self._measure_query_attributes()
         if self.params.dismantling:
             self._dismantle_loop(manager)
+        if self.params.graceful_degradation:
+            self._prune_unmeasured()
         budget = self._find_budget_distribution()
+        if self.params.graceful_degradation and not budget.counts:
+            budget = self._fallback_budget()
         formulas = self._learn_regressions(budget)
+        report = self.platform.resilience_report()
+        for event in self._degradations:
+            report.add_degradation(event)
         return PreprocessingPlan(
             query=self.query,
             attributes=tuple(self.stats.attributes),
@@ -232,7 +260,12 @@ class DisQPlanner:
             dismantle_rounds=self._rounds,
             preprocessing_cost=self.platform.budget.spent,
             discovery_log=tuple(self._discovery_log),
+            resilience=report,
         )
+
+    def _degrade(self, event: str) -> None:
+        """Record one graceful-degradation event for the final report."""
+        self._degradations.append(event)
 
     # ------------------------------------------------------------------
     # Phase 1: example pools (GetExamples)
@@ -244,24 +277,60 @@ class DisQPlanner:
             # (the paper's GetExamples extension); all pools then hold
             # the same objects in the same order.
             targets = tuple(self.query.targets)
+            strikes = 0
             for _ in range(self.params.n1):
                 try:
                     object_id, values = self.platform.ask_example(targets)
                 except BudgetExhaustedError:
                     break
+                except CrowdFaultError:
+                    if not self.params.graceful_degradation:
+                        raise
+                    strikes += 1
+                    if strikes >= FAULT_STRIKE_LIMIT:
+                        self._degrade(
+                            f"example collection stopped after {strikes} "
+                            f"consecutive crowd faults "
+                            f"({len(self.stats.pool(targets[0]))} of "
+                            f"{self.params.n1} examples collected)"
+                        )
+                        break
+                    continue
+                strikes = 0
                 for target in targets:
                     self.stats.pool(target).add_example(object_id, values[target])
         else:
             for target in self.query.targets:
                 pool = self.stats.pool(target)
+                strikes = 0
                 for _ in range(self.params.n1):
                     try:
                         object_id, values = self.platform.ask_example((target,))
                     except BudgetExhaustedError:
                         break
+                    except CrowdFaultError:
+                        if not self.params.graceful_degradation:
+                            raise
+                        strikes += 1
+                        if strikes >= FAULT_STRIKE_LIMIT:
+                            self._degrade(
+                                f"example collection for {target!r} stopped "
+                                f"after {strikes} consecutive crowd faults "
+                                f"({len(pool)} of {self.params.n1} examples)"
+                            )
+                            break
+                        continue
+                    strikes = 0
                     pool.add_example(object_id, values[target])
         for target in self.query.targets:
             if len(self.stats.pool(target)) < 4:
+                if self.params.graceful_degradation:
+                    self._degrade(
+                        f"only {len(self.stats.pool(target))} examples for "
+                        f"{target!r} (need 4 for usable statistics); plan "
+                        f"degrades toward the constant/fallback estimator"
+                    )
+                    continue
                 raise PlanningError(
                     f"preprocessing budget too small to collect examples for "
                     f"{target!r} (got {len(self.stats.pool(target))}, need at "
@@ -312,7 +381,11 @@ class DisQPlanner:
         pool = self.stats.pool(target)
         start = pool.n_measured(attribute)
         batches: list[list[float]] = []
-        for index in range(start, len(pool)):
+        strikes = 0
+        index = start
+        # Answer batches must stay aligned with the example order, so a
+        # crowd fault retries the *same* example instead of skipping it.
+        while index < len(pool):
             object_id = pool.object_ids[index]
             try:
                 answers = self.platform.ask_value(
@@ -320,7 +393,22 @@ class DisQPlanner:
                 )
             except BudgetExhaustedError:
                 break
+            except CrowdFaultError:
+                if not self.params.graceful_degradation:
+                    raise
+                strikes += 1
+                if strikes >= FAULT_STRIKE_LIMIT:
+                    self._degrade(
+                        f"measurement of {attribute!r} on the {target!r} "
+                        f"pool abandoned after {strikes} consecutive crowd "
+                        f"faults ({len(batches)} of {len(pool) - start} "
+                        f"examples measured)"
+                    )
+                    break
+                continue
+            strikes = 0
             batches.append(answers)
+            index += 1
         pool.record_answers(attribute, batches)
 
     # ------------------------------------------------------------------
@@ -416,6 +504,12 @@ class DisQPlanner:
             answer = self.platform.ask_dismantle(attribute)
         except BudgetExhaustedError:
             return False
+        except CrowdFaultError:
+            if not self.params.graceful_degradation:
+                raise
+            return self._dismantle_fault(
+                f"dismantling question on {attribute!r} lost to a crowd fault"
+            )
         self._question_counts[attribute] = (
             self._question_counts.get(attribute, 0) + 1
         )
@@ -436,6 +530,18 @@ class DisQPlanner:
             except BudgetExhaustedError:
                 self._discovery_log.append((attribute, answer, False))
                 return False
+            except CrowdFaultError:
+                if not self.params.graceful_degradation:
+                    raise
+                # The verdict is unknown; treat the candidate as rejected
+                # so budget is not burned re-verifying a faulting pair.
+                self._rejected.add((attribute, answer))
+                self._discovery_log.append((attribute, answer, False))
+                return self._dismantle_fault(
+                    f"verification of candidate {answer!r} (from "
+                    f"{attribute!r}) lost to a crowd fault; candidate set "
+                    f"aside"
+                )
             if not verdict.accepted:
                 # Remember the refusal: re-verifying the same suggestion
                 # would replay the same votes and waste budget.
@@ -452,6 +558,23 @@ class DisQPlanner:
                     self._discovery_log.append((attribute, answer, accepted))
                     return False
         self._discovery_log.append((attribute, answer, accepted))
+        return True
+
+    def _dismantle_fault(self, event: str) -> bool:
+        """Count one dismantling-phase fault; False once the cap is hit.
+
+        Strikes are cumulative over the whole loop (not consecutive):
+        under a persistent outage no budget is spent, so without a hard
+        cap the loop would spin forever on retried questions.
+        """
+        self._degrade(event)
+        self._dismantle_fault_strikes += 1
+        if self._dismantle_fault_strikes >= DISMANTLE_FAULT_LIMIT:
+            self._degrade(
+                f"dismantling stopped early after "
+                f"{self._dismantle_fault_strikes} crowd faults"
+            )
+            return False
         return True
 
     # ------------------------------------------------------------------
@@ -478,6 +601,30 @@ class DisQPlanner:
         except UnknownAttributeError:
             return self.platform.prices.numeric_value
 
+    def _prune_unmeasured(self) -> None:
+        """Drop accepted attributes that never yielded any statistics.
+
+        When every value question for an attribute was lost to crowd
+        faults (or the budget died before its first batch), the
+        attribute contributes nothing but zero-filled rows to the
+        objective; dropping it keeps the allocator honest about what
+        was actually measured.
+        """
+        for attribute in list(self.stats.attributes):
+            if attribute in self.query.targets:
+                continue
+            measured = any(
+                self.stats.pool(target).n_measured(attribute) > 0
+                for target in self.query.targets
+            )
+            if not measured:
+                self.stats.drop_attribute(attribute)
+                self._question_counts.pop(attribute, None)
+                self._degrade(
+                    f"dropped discovered attribute {attribute!r}: no value "
+                    f"statistics could be collected for it"
+                )
+
     def _find_budget_distribution(self) -> BudgetDistribution:
         attributes = list(self.stats.attributes)
         if not attributes:
@@ -486,6 +633,30 @@ class DisQPlanner:
         return find_budget_distribution(
             objectives, attributes, costs, self.b_obj_cents
         )
+
+    def _fallback_budget(self) -> BudgetDistribution:
+        """Last-resort even allocation over the query attributes.
+
+        Used (graceful degradation only) when the optimized distribution
+        came back empty — typically because the statistics pools starved
+        and every covariance collapsed.  Splitting ``B_obj`` evenly over
+        the query attributes is the *SimpleDisQ*-style answer that needs
+        no statistics at all; a plan that asks something always beats
+        the constant predictor the empty budget would imply.
+        """
+        targets = list(self.query.targets)
+        per_target = self.b_obj_cents / len(targets)
+        counts: dict[str, int] = {}
+        for target in targets:
+            questions = int(per_target // self._value_price(target))
+            if questions > 0:
+                counts[target] = questions
+        if counts:
+            self._degrade(
+                "no usable statistics for an optimized budget distribution; "
+                "fell back to an even allocation over the query attributes"
+            )
+        return BudgetDistribution(counts)
 
     # ------------------------------------------------------------------
     # Phase 5: the regression training set and fit (FindRegression)
@@ -557,6 +728,15 @@ class DisQPlanner:
                     )
             except BudgetExhaustedError:
                 return rows_by_target
+            except CrowdFaultError:
+                if not self.params.graceful_degradation:
+                    raise
+                self._degrade(
+                    f"shared regression training truncated at "
+                    f"{len(rows_by_target[primary])} of {n2} rows by "
+                    f"persistent crowd faults"
+                )
+                return rows_by_target
             for target in self.query.targets:
                 label = self.stats.pool(target).target_values[index]
                 rows_by_target[target].append((means, label))
@@ -577,6 +757,15 @@ class DisQPlanner:
                     for attribute in support
                 }
             except BudgetExhaustedError:
+                break
+            except CrowdFaultError:
+                if not self.params.graceful_degradation:
+                    raise
+                self._degrade(
+                    f"shared regression training truncated at "
+                    f"{len(rows_by_target[primary])} of {n2} rows by "
+                    f"persistent crowd faults"
+                )
                 break
             for target in self.query.targets:
                 rows_by_target[target].append((means, values[target]))
@@ -606,6 +795,14 @@ class DisQPlanner:
                     )
             except BudgetExhaustedError:
                 return rows
+            except CrowdFaultError:
+                if not self.params.graceful_degradation:
+                    raise
+                self._degrade(
+                    f"regression training for {target!r} truncated at "
+                    f"{len(rows)} of {n2} rows by persistent crowd faults"
+                )
+                return rows
             rows.append((means, pool.target_values[index]))
 
         while len(rows) < n2:
@@ -622,6 +819,14 @@ class DisQPlanner:
                     for attribute in support
                 }
             except BudgetExhaustedError:
+                break
+            except CrowdFaultError:
+                if not self.params.graceful_degradation:
+                    raise
+                self._degrade(
+                    f"regression training for {target!r} truncated at "
+                    f"{len(rows)} of {n2} rows by persistent crowd faults"
+                )
                 break
             rows.append((means, values[target]))
         return rows

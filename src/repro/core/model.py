@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crowd.faults import ResilienceReport
 from repro.data.query import ParsedQuery
 from repro.errors import ConfigurationError
 
@@ -173,6 +174,10 @@ class PreprocessingPlan:
     discovery_log:
         ``(asked_attribute, raw_answer, accepted)`` per dismantling
         round, for diagnostics and the Table 4 experiment.
+    resilience:
+        What the resilience layer absorbed while building this plan —
+        retries, abandons, quarantined workers and any degradation
+        events (``None`` for planners predating the fault layer).
     """
 
     query: Query
@@ -182,6 +187,12 @@ class PreprocessingPlan:
     dismantle_rounds: int = 0
     preprocessing_cost: float = 0.0
     discovery_log: tuple[tuple[str, str, bool], ...] = ()
+    resilience: ResilienceReport | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the plan had to give something up to be produced."""
+        return self.resilience is not None and self.resilience.degraded
 
     def formula(self, target: str) -> EstimationFormula:
         """The estimation formula for one target."""
@@ -199,4 +210,9 @@ class PreprocessingPlan:
             f"  preprocessing spend: {self.preprocessing_cost / 100.0:.2f}$",
         ]
         lines.extend(f"  {self.formulas[target]}" for target in self.query.targets)
+        if self.resilience is not None and self.resilience.degradations:
+            lines.append("  degradations:")
+            lines.extend(
+                f"    - {event}" for event in self.resilience.degradations
+            )
         return "\n".join(lines)

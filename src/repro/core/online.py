@@ -19,7 +19,11 @@ from repro.core.model import PreprocessingPlan, Query
 from repro.crowd.platform import CrowdPlatform
 from repro.data.table import DataTable
 from repro.domains.base import Domain
-from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    CrowdFaultError,
+)
 
 
 class OnlineEvaluator:
@@ -47,6 +51,9 @@ class OnlineEvaluator:
         if len(set(targets)) != len(targets):
             raise ConfigurationError("plans estimate overlapping targets")
         self.targets = tuple(targets)
+        #: (object_id, attribute) pairs whose answers were lost to crowd
+        #: faults even after retries; their formula terms dropped out.
+        self.fault_skips: list[tuple[int, str]] = []
 
     def per_object_cost(self) -> float:
         """Online cents spent per object across all plans."""
@@ -62,6 +69,10 @@ class OnlineEvaluator:
 
         If the platform budget dies mid-object, formulas are applied to
         whatever answer means were gathered (missing terms drop out).
+        An attribute whose answers are lost to crowd faults (retries
+        exhausted) is skipped the same way — its formula term drops out
+        and the loss is noted in :attr:`fault_skips` — so a flaky crowd
+        degrades one term at a time instead of killing the whole run.
         """
         estimates: dict[str, float] = {}
         for plan in self.plans:
@@ -73,6 +84,9 @@ class OnlineEvaluator:
                     )
                 except BudgetExhaustedError:
                     break
+                except CrowdFaultError:
+                    self.fault_skips.append((object_id, attribute))
+                    continue
                 if answers:
                     means[attribute] = float(np.mean(answers))
             for target in plan.query.targets:

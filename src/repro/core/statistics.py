@@ -24,10 +24,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MalformedAnswerError
 
 #: Floor applied to de-biased variances so matrices stay invertible.
 VARIANCE_FLOOR = 1e-9
+
+
+def _require_finite(target: str, attribute: str, answers: list[float]) -> None:
+    """Reject non-finite answers before they enter the statistics.
+
+    A single NaN here would silently propagate through every downstream
+    covariance (``S_o``, ``S_a``) and poison the budget allocation; the
+    platform's resilience layer is supposed to have filtered malformed
+    answers already, so reaching this guard is a bug or a bypassed
+    platform — fail loudly either way.
+    """
+    for answer in answers:
+        if not np.isfinite(answer):
+            raise MalformedAnswerError(
+                "value",
+                f"non-finite answer {answer!r} for {attribute!r} "
+                f"in pool {target!r}",
+            )
 
 
 def variance_estimate(answers: list[float]) -> float:
@@ -65,6 +83,7 @@ class ExamplePool:
 
     def add_example(self, object_id: int, target_value: float) -> None:
         """Append one example object with its true target value."""
+        _require_finite(self.target, "<target value>", [float(target_value)])
         self.object_ids.append(object_id)
         self.target_values.append(float(target_value))
         self.version += 1
@@ -83,6 +102,8 @@ class ExamplePool:
         Batches extend the measured prefix: if 10 examples already have
         answers, the first new batch belongs to example 10.
         """
+        for batch in batches:
+            _require_finite(self.target, attribute, batch)
         existing = self._answers.setdefault(attribute, [])
         if len(existing) + len(batches) > len(self.object_ids):
             raise ConfigurationError(
@@ -98,6 +119,7 @@ class ExamplePool:
         Used when the training phase tops up the ``k`` statistics
         answers to the full ``b(a)`` (the paper's answer reuse).
         """
+        _require_finite(self.target, attribute, [float(a) for a in answers])
         batches = self._answers.get(attribute)
         if batches is None or example_index >= len(batches):
             raise ConfigurationError(
@@ -182,6 +204,25 @@ class StatisticsStore:
             raise ConfigurationError(f"pairing with unknown targets: {unknown}")
         self.attributes.append(attribute)
         self.pairings[attribute] = set(paired_targets)
+
+    def drop_attribute(self, attribute: str) -> None:
+        """Remove an attribute from the discovered set.
+
+        Used by the planner's graceful-degradation path when an
+        accepted attribute's sample collection failed entirely — its
+        absence from ``attributes`` keeps the budget allocator from
+        spending online questions on an attribute with no statistics.
+        Pools keep any raw answers already recorded (harmless; they are
+        only read through the attribute list).  Query targets cannot be
+        dropped.
+        """
+        if attribute in self.targets:
+            raise ConfigurationError(
+                f"cannot drop query target {attribute!r} from the statistics"
+            )
+        if attribute in self.pairings:
+            self.attributes.remove(attribute)
+            del self.pairings[attribute]
 
     def pool(self, target: str) -> ExamplePool:
         """The example pool of one target."""

@@ -8,8 +8,22 @@ types (value, dismantling, verification, example), a price schedule and
 budget ledger matching Section 5.1, an answer recorder for
 replay-across-algorithms, a spam filter, a sequential verification
 decision procedure, and an attribute-name normalizer.
+
+Beyond the paper's assumptions, :mod:`repro.crowd.faults` adds an
+operational fault-injection and resilience layer (timeouts, abandons,
+malformed answers, retries with backoff, per-worker quarantine); see
+DESIGN.md's "Resilience & fault injection" section.
 """
 
+from repro.crowd.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultProfile,
+    FaultRates,
+    ResilienceReport,
+    RetryPolicy,
+    SimulatedClock,
+)
 from repro.crowd.questions import (
     DismantlingQuestion,
     ExampleQuestion,
@@ -22,9 +36,11 @@ from repro.crowd.worker import BiasedWorker, HonestWorker, SpamWorker, Worker
 from repro.crowd.pool import WorkerPool
 from repro.crowd.recording import AnswerRecorder
 from repro.crowd.quality import (
+    BreakerState,
     GoldQuestionScreen,
     ReputationTracker,
     ScreenedPool,
+    WorkerCircuitBreaker,
 )
 from repro.crowd.spam import AgreementSpamFilter, SpamFilter, ZScoreSpamFilter
 from repro.crowd.verification import SequentialVerifier, VerificationResult
@@ -39,25 +55,34 @@ __all__ = [
     "AnswerRecorder",
     "AttributeNormalizer",
     "BiasedWorker",
+    "BreakerState",
     "Budget",
     "CostLedger",
     "CrowdPlatform",
     "DismantlingQuestion",
     "ExampleQuestion",
+    "FaultInjector",
+    "FaultKind",
+    "FaultProfile",
+    "FaultRates",
     "GoldQuestionScreen",
     "HonestWorker",
     "NormalizationMode",
     "PriceSchedule",
     "Question",
     "ReputationTracker",
+    "ResilienceReport",
+    "RetryPolicy",
     "ScreenedPool",
     "SequentialVerifier",
+    "SimulatedClock",
     "SpamFilter",
     "SpamWorker",
     "ValueQuestion",
     "VerificationQuestion",
     "VerificationResult",
     "Worker",
+    "WorkerCircuitBreaker",
     "WorkerPool",
     "ZScoreSpamFilter",
 ]

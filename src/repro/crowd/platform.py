@@ -11,20 +11,59 @@ shared :class:`~repro.crowd.recording.AnswerRecorder`.  A *new*
 platform instance over the same recorder starts with fresh cursors and
 therefore replays the identical answer stream — this is how different
 algorithms are compared "in equivalent settings" as in the paper.
+
+Resilience semantics: when a :class:`~repro.crowd.faults.FaultProfile`
+is configured, every worker interaction may time out, be abandoned, or
+return a malformed answer.  The platform then retries per its
+:class:`~repro.crowd.faults.RetryPolicy` (exponential backoff on a
+simulated clock), attributes faults to workers through a
+:class:`~repro.crowd.quality.WorkerCircuitBreaker` that quarantines
+repeat offenders, and only *valid* answers reach the recorder — so a
+replay of fault-collected data is fault-free by construction.  With
+faults disabled (the default, or ``FaultProfile.none()``) none of this
+machinery runs and behavior is byte-identical to the fault-free path.
+
+Charging semantics: budgets are *checked* before workers are engaged
+(no answers are generated that cannot be paid for) but *debited* only
+after a batch is fully collected, so an exception mid-batch — retry
+exhaustion, for instance — never spends money without recording the
+answers it bought.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.crowd.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultProfile,
+    ResilienceReport,
+    RetryPolicy,
+    SimulatedClock,
+)
 from repro.crowd.normalization import AttributeNormalizer
 from repro.crowd.pool import WorkerPool
 from repro.crowd.pricing import Budget, CostLedger, PriceSchedule
+from repro.crowd.quality import WorkerCircuitBreaker
 from repro.crowd.recording import AnswerRecorder, ExampleRecord
-from repro.crowd.spam import SpamFilter
+from repro.crowd.spam import SpamFilter, rejected_indices
 from repro.crowd.verification import SequentialVerifier, VerificationResult
 from repro.domains.base import Domain
-from repro.errors import UnknownAttributeError
+from repro.errors import (
+    BudgetExhaustedError,
+    CrowdTimeoutError,
+    MalformedAnswerError,
+    UnknownAttributeError,
+)
+
+#: Validation margin for value answers, in answer-range spans.  Honest
+#: noise can stray a little outside the plausible range; injected
+#: garbage lands at least 10 spans out, so the margin separates them
+#: deterministically.
+_VALUE_MARGIN_SPANS = 5.0
 
 
 class CrowdPlatform:
@@ -53,6 +92,22 @@ class CrowdPlatform:
     seed:
         Seed for the platform's own randomness (worker draws already
         have their own streams via the pool).
+    faults:
+        Optional fault configuration: a
+        :class:`~repro.crowd.faults.FaultProfile` (an injector is built
+        from it, seeded from ``seed``) or a ready
+        :class:`~repro.crowd.faults.FaultInjector`.  ``None`` or an
+        all-zero profile disables fault injection entirely.
+    retry:
+        Retry policy used when faults are enabled (default:
+        :class:`~repro.crowd.faults.RetryPolicy` defaults).
+    breaker:
+        Per-worker circuit breaker; a default one is created when
+        faults are enabled.  Pass an explicit breaker to share
+        quarantine state or tune its thresholds.
+    clock:
+        Simulated clock for latency/backoff/cooldown accounting; a
+        fresh clock is created when faults are enabled.
     """
 
     def __init__(
@@ -65,6 +120,10 @@ class CrowdPlatform:
         spam_filter: SpamFilter | None = None,
         normalizer: AttributeNormalizer | None = None,
         seed: int = 0,
+        faults: FaultProfile | FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: WorkerCircuitBreaker | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         self.domain = domain
         self.pool = pool if pool is not None else WorkerPool(seed=seed)
@@ -76,7 +135,35 @@ class CrowdPlatform:
             normalizer if normalizer is not None else AttributeNormalizer(domain)
         )
         self.ledger = CostLedger()
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
+
+        # Resilience layer.  A disabled profile collapses to None so
+        # the fault-free code path is taken verbatim.
+        injector: FaultInjector | None
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        elif isinstance(faults, FaultProfile):
+            # Decorrelate the injector stream from the pool stream
+            # (both default to `seed`) with a fixed odd multiplier.
+            injector = FaultInjector(
+                faults, seed=(seed * 2654435761 + 1) % (2**63)
+            )
+        else:
+            injector = None
+        if injector is not None and not injector.enabled:
+            injector = None
+        self.faults = injector
+        self.retry = retry if retry is not None else RetryPolicy()
+        if injector is not None:
+            self.clock = clock if clock is not None else SimulatedClock()
+            self.breaker = breaker if breaker is not None else WorkerCircuitBreaker()
+        else:
+            self.clock = clock
+            self.breaker = breaker
+        #: Scratch map answer -> worker id for the current value batch,
+        #: used to attribute spam-filter rejections to workers.
+        self._batch_workers: dict[float, int] = {}
 
         # Surface form -> canonical resolution for ground-truth lookups.
         # This is intentionally independent of the (possibly imperfect)
@@ -118,10 +205,96 @@ class CrowdPlatform:
         """Cost in cents of one value question about ``name``."""
         return self.prices.value_price(self.is_binary(name))
 
+    def _check_affordable(self, cost: float) -> None:
+        """Raise before engaging workers if the budget cannot cover ``cost``."""
+        if self.budget is not None and not self.budget.can_afford(cost):
+            raise BudgetExhaustedError(
+                requested=cost, remaining=self.budget.remaining
+            )
+
     def _charge(self, category: str, cost: float, count: int) -> None:
+        """Debit a *collected* batch (call only after collection succeeds)."""
         if self.budget is not None:
             self.budget.charge(cost)
         self.ledger.record(category, cost, count)
+
+    # ------------------------------------------------------------------
+    # Resilient worker interaction
+    # ------------------------------------------------------------------
+
+    def _draw_worker(self):
+        """Draw a worker, routing around quarantined ones when possible."""
+        if self.breaker is not None and self.clock is not None:
+            blocked = set(self.breaker.quarantined(self.clock.now))
+            if blocked and hasattr(self.pool, "draw_avoiding"):
+                return self.pool.draw_avoiding(blocked)
+        return self.pool.draw()
+
+    def _note_outcome(self, worker, fault: bool) -> None:
+        if self.breaker is not None and self.clock is not None:
+            self.breaker.record_outcome(worker.worker_id, fault, self.clock.now)
+
+    def _resilient_ask(self, category: str, produce, corrupt, validate):
+        """One question under fault injection: retry until a valid answer.
+
+        ``produce(worker)`` generates the genuine answer, ``corrupt()``
+        the garbage replacement, ``validate(answer)`` the usability
+        check.  Returns ``(answer, worker_id)``; raises
+        :class:`CrowdTimeoutError` / :class:`MalformedAnswerError` when
+        the retry policy is exhausted.
+        """
+        policy = self.retry
+        injector = self.faults
+        last_error: Exception = CrowdTimeoutError(category, policy.max_attempts)
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.ledger.record_retry(category)
+                self.clock.advance(policy.delay(attempt - 1, injector.rng))
+            worker = self._draw_worker()
+            outcome = injector.draw(
+                category, getattr(worker, "fault_proneness", 1.0)
+            )
+            self.clock.advance(outcome.latency)
+            if outcome.kind is FaultKind.TIMEOUT:
+                self.clock.advance(policy.question_timeout)
+                self._note_outcome(worker, fault=True)
+                last_error = CrowdTimeoutError(category, attempt + 1)
+                continue
+            if outcome.kind is FaultKind.ABANDON:
+                self.ledger.record_abandon(category)
+                self._note_outcome(worker, fault=True)
+                last_error = CrowdTimeoutError(category, attempt + 1)
+                continue
+            answer = produce(worker)
+            if outcome.kind is FaultKind.GARBAGE:
+                answer = corrupt()
+            if validate(answer):
+                self._note_outcome(worker, fault=False)
+                return answer, worker.worker_id
+            self._note_outcome(worker, fault=True)
+            last_error = MalformedAnswerError(category, answer)
+        raise last_error
+
+    def _valid_value(self, answer: object, low: float, high: float) -> bool:
+        if not isinstance(answer, (int, float)) or isinstance(answer, bool):
+            return False
+        if not math.isfinite(float(answer)):
+            return False
+        margin = _VALUE_MARGIN_SPANS * max(high - low, 1.0)
+        return low - margin <= float(answer) <= high + margin
+
+    def _resilient_value(self, object_id: int, canonical: str) -> float:
+        low, high = self.domain.answer_range(canonical)
+        answer, worker_id = self._resilient_ask(
+            "value",
+            produce=lambda worker: worker.answer_value(
+                self.domain, object_id, canonical
+            ),
+            corrupt=lambda: self.faults.corrupt_value((low, high)),
+            validate=lambda a: self._valid_value(a, low, high),
+        )
+        self._batch_workers[float(answer)] = worker_id
+        return float(answer)
 
     # ------------------------------------------------------------------
     # The four question types
@@ -131,45 +304,83 @@ class CrowdPlatform:
         """Ask ``n`` workers for the value of one object attribute.
 
         Returns the spam-filtered answer batch (raw batch if no filter
-        is configured).  Charges ``n`` value questions.
+        is configured).  Charges ``n`` value questions after the batch
+        is collected.
         """
         if n <= 0:
             return []
         canonical = self.resolve(attribute)
         cost = n * self.value_price(attribute)
-        self._charge("value", cost, n)
+        self._check_affordable(cost)
         key = (object_id, attribute)
         start = self._value_cursor.get(key, 0)
+        if self.faults is None:
+            generate = lambda: self.pool.draw().answer_value(  # noqa: E731
+                self.domain, object_id, canonical
+            )
+        else:
+            self._batch_workers = {}
+            generate = lambda: self._resilient_value(  # noqa: E731
+                object_id, canonical
+            )
         answers = self.recorder.value_answers(
-            object_id,
-            attribute,
-            start,
-            n,
-            lambda: self.pool.draw().answer_value(self.domain, object_id, canonical),
+            object_id, attribute, start, n, generate
         )
         self._value_cursor[key] = start + n
+        self._charge("value", cost, n)
         if self.spam_filter is not None:
-            answers = self.spam_filter.filter(answers)
+            kept = self.spam_filter.filter(answers)
+            if self.faults is not None and self._batch_workers:
+                # Spam rejections count as faults for the workers that
+                # produced them (quarantine input).
+                for index in rejected_indices(list(answers), list(kept)):
+                    worker_id = self._batch_workers.get(float(answers[index]))
+                    if worker_id is not None:
+                        self.breaker.record_fault(worker_id, self.clock.now)
+            answers = kept
         return list(answers)
 
     def ask_value_mean(self, object_id: int, attribute: str, n: int) -> float:
-        """Average of ``n`` value answers — the paper's ``o.a^(n)``."""
+        """Average of ``n`` value answers — the paper's ``o.a^(n)``.
+
+        Raises :class:`MalformedAnswerError` instead of returning NaN
+        when no usable answer is available (e.g. the spam filter
+        rejected the entire batch): a NaN here would silently poison
+        the downstream ``S_o``/``S_a`` covariance estimates.
+        """
         answers = self.ask_value(object_id, attribute, n)
-        return float(np.mean(answers)) if answers else float("nan")
+        if answers:
+            mean = float(np.mean(answers))
+            if math.isfinite(mean):
+                return mean
+        raise MalformedAnswerError(
+            "value",
+            f"no usable answers for {attribute!r} on object {object_id} "
+            f"(asked {n})",
+        )
 
     def ask_dismantle(self, attribute: str) -> str:
         """Ask one worker to dismantle ``attribute``; returns the
         (normalizer-processed) suggested attribute name."""
         canonical = self.resolve(attribute)
-        self._charge("dismantle", self.prices.dismantle, 1)
+        self._check_affordable(self.prices.dismantle)
         start = self._dismantle_cursor.get(attribute, 0)
-        answers = self.recorder.dismantle_answers(
-            attribute,
-            start,
-            1,
-            lambda: self.pool.draw().answer_dismantle(self.domain, canonical),
-        )
+        if self.faults is None:
+            generate = lambda: self.pool.draw().answer_dismantle(  # noqa: E731
+                self.domain, canonical
+            )
+        else:
+            generate = lambda: self._resilient_ask(  # noqa: E731
+                "dismantle",
+                produce=lambda worker: worker.answer_dismantle(
+                    self.domain, canonical
+                ),
+                corrupt=self.faults.corrupt_token,
+                validate=lambda a: isinstance(a, str) and self.knows(a),
+            )[0]
+        answers = self.recorder.dismantle_answers(attribute, start, 1, generate)
         self._dismantle_cursor[attribute] = start + 1
+        self._charge("dismantle", self.prices.dismantle, 1)
         answer = answers[0]
         if self.normalizer is not None:
             answer = self.normalizer.normalize(answer)
@@ -179,19 +390,27 @@ class CrowdPlatform:
         """One worker vote on whether ``candidate`` helps ``attribute``."""
         canonical_attribute = self.resolve(attribute)
         canonical_candidate = self.resolve(candidate)
-        self._charge("verification", self.prices.verification, 1)
+        self._check_affordable(self.prices.verification)
         key = (attribute, candidate)
         start = self._vote_cursor.get(key, 0)
-        votes = self.recorder.verification_votes(
-            attribute,
-            candidate,
-            start,
-            1,
-            lambda: self.pool.draw().answer_verification(
+        if self.faults is None:
+            generate = lambda: self.pool.draw().answer_verification(  # noqa: E731
                 self.domain, canonical_attribute, canonical_candidate
-            ),
+            )
+        else:
+            generate = lambda: self._resilient_ask(  # noqa: E731
+                "verification",
+                produce=lambda worker: worker.answer_verification(
+                    self.domain, canonical_attribute, canonical_candidate
+                ),
+                corrupt=lambda: None,  # wrong-type (missing) vote
+                validate=lambda a: isinstance(a, bool),
+            )[0]
+        votes = self.recorder.verification_votes(
+            attribute, candidate, start, 1, generate
         )
         self._vote_cursor[key] = start + 1
+        self._charge("verification", self.prices.verification, 1)
         return votes[0]
 
     def verify_candidate(
@@ -203,18 +422,45 @@ class CrowdPlatform:
             lambda: self.ask_verification_vote(attribute, candidate)
         )
 
+    def _corrupt_example(
+        self, targets: tuple[str, ...]
+    ) -> ExampleRecord:
+        """A malformed example: plausible object, NaN target values."""
+        object_id = self.domain.sample_object(self.faults.rng)
+        return object_id, {target: float("nan") for target in targets}
+
+    def _valid_example(self, record: object) -> bool:
+        if not isinstance(record, tuple) or len(record) != 2:
+            return False
+        _, values = record
+        if not isinstance(values, dict):
+            return False
+        return all(
+            isinstance(v, (int, float)) and math.isfinite(float(v))
+            for v in values.values()
+        )
+
     def ask_example(self, targets: tuple[str, ...]) -> ExampleRecord:
         """Ask one worker for an example object with true target values."""
         canonical_targets = tuple(self.resolve(target) for target in targets)
-        self._charge("example", self.prices.example, 1)
+        self._check_affordable(self.prices.example)
         start = self._example_cursor.get(targets, 0)
-        records = self.recorder.examples(
-            targets,
-            start,
-            1,
-            lambda: self.pool.draw().provide_example(self.domain, canonical_targets),
-        )
+        if self.faults is None:
+            generate = lambda: self.pool.draw().provide_example(  # noqa: E731
+                self.domain, canonical_targets
+            )
+        else:
+            generate = lambda: self._resilient_ask(  # noqa: E731
+                "example",
+                produce=lambda worker: worker.provide_example(
+                    self.domain, canonical_targets
+                ),
+                corrupt=lambda: self._corrupt_example(canonical_targets),
+                validate=self._valid_example,
+            )[0]
+        records = self.recorder.examples(targets, start, 1, generate)
         self._example_cursor[targets] = start + 1
+        self._charge("example", self.prices.example, 1)
         object_id, values = records[0]
         # Re-key the values under the algorithm-visible target names.
         visible = dict(zip(targets, (values[c] for c in canonical_targets)))
@@ -229,12 +475,35 @@ class CrowdPlatform:
         """Total cents spent through this platform instance."""
         return self.ledger.total_spent
 
-    def fork(self, budget: Budget | None = None) -> "CrowdPlatform":
+    def resilience_report(self) -> ResilienceReport:
+        """What the resilience layer absorbed so far on this instance."""
+        injector = self.faults
+        counts = injector.counts if injector is not None else {}
+        return ResilienceReport(
+            retries_by_category=dict(self.ledger.retries_by_category),
+            abandons_by_category=dict(self.ledger.abandons_by_category),
+            timeouts=counts.get(FaultKind.TIMEOUT, 0),
+            abandons=counts.get(FaultKind.ABANDON, 0),
+            garbage_answers=counts.get(FaultKind.GARBAGE, 0),
+            quarantined_workers=(
+                self.breaker.quarantined(self.clock.now)
+                if self.breaker is not None and self.clock is not None
+                else ()
+            ),
+            simulated_seconds=self.clock.now if self.clock is not None else 0.0,
+        )
+
+    def fork(
+        self, budget: Budget | None = None, seed: int | None = None
+    ) -> "CrowdPlatform":
         """A fresh platform over the same domain, pool, and recorder.
 
         The fork starts with reset replay cursors and its own ledger and
         budget — the setup for comparing a second algorithm on identical
-        crowd data.
+        crowd data.  It inherits the parent's seed unless ``seed`` is
+        given, and the parent's fault profile and retry policy (with a
+        fresh injector, breaker and clock — quarantine and fault
+        counters are per-run state).
         """
         return CrowdPlatform(
             domain=self.domain,
@@ -244,4 +513,7 @@ class CrowdPlatform:
             recorder=self.recorder,
             spam_filter=self.spam_filter,
             normalizer=self.normalizer,
+            seed=self._seed if seed is None else seed,
+            faults=self.faults.profile if self.faults is not None else None,
+            retry=self.retry,
         )

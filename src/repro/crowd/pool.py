@@ -36,6 +36,11 @@ class WorkerPool:
     skill_spread:
         Log-normal sigma of the per-worker skill multiplier (0 disables
         skill heterogeneity).
+    fault_spread:
+        Log-normal sigma of the per-worker *fault proneness* multiplier
+        used by fault injection (0, the default, leaves every worker at
+        proneness 1.0 and draws no extra randomness, preserving seeded
+        worker streams byte-for-byte).
     """
 
     def __init__(
@@ -47,6 +52,7 @@ class WorkerPool:
         reliability: float = 0.8,
         synonym_rate: float = 0.3,
         skill_spread: float = 0.0,
+        fault_spread: float = 0.0,
     ) -> None:
         if size <= 0:
             raise ConfigurationError(f"pool size must be positive, got {size}")
@@ -85,6 +91,10 @@ class WorkerPool:
                     reliability=reliability,
                     synonym_rate=synonym_rate,
                 )
+            if fault_spread > 0:
+                worker.fault_proneness = float(
+                    np.exp(self._rng.normal(0.0, fault_spread))
+                )
             self._workers.append(worker)
 
     def __len__(self) -> int:
@@ -103,6 +113,27 @@ class WorkerPool:
         """
         index = int(self._rng.integers(0, len(self._workers)))
         return self._workers[index]
+
+    def draw_avoiding(
+        self, blocked: set[int], max_redraws: int | None = None
+    ) -> Worker:
+        """Sample one worker, redrawing while the draw is in ``blocked``.
+
+        Used by the resilience layer to route around quarantined
+        workers.  After ``max_redraws`` unsuccessful redraws (default:
+        the population size) the last draw is returned even if blocked,
+        so a fully-quarantined population degrades to normal service
+        instead of deadlocking.
+        """
+        if not blocked:
+            return self.draw()
+        attempts = len(self._workers) if max_redraws is None else max_redraws
+        worker = self.draw()
+        for _ in range(attempts):
+            if worker.worker_id not in blocked:
+                return worker
+            worker = self.draw()
+        return worker
 
     def draw_distinct(self, n: int) -> list[Worker]:
         """Sample ``n`` distinct workers (for multi-vote tasks).

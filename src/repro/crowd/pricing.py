@@ -82,12 +82,26 @@ class PriceSchedule:
 
 @dataclass
 class CostLedger:
-    """Running record of crowd spending, split by question category."""
+    """Running record of crowd spending, split by question category.
+
+    Besides paid answers, the ledger counts *unpaid* operational events
+    from the resilience layer: retried attempts (a worker timed out or
+    answered garbage, another was asked) and abandonments.  Retries and
+    abandons cost nothing — real platforms do not pay for rejected or
+    expired assignments — but their counts are what fault-rate sweeps
+    and :class:`~repro.crowd.faults.ResilienceReport` report.
+    """
 
     spent_by_category: dict[str, float] = field(
         default_factory=lambda: {category: 0.0 for category in CATEGORIES}
     )
     questions_by_category: dict[str, int] = field(
+        default_factory=lambda: {category: 0 for category in CATEGORIES}
+    )
+    retries_by_category: dict[str, int] = field(
+        default_factory=lambda: {category: 0 for category in CATEGORIES}
+    )
+    abandons_by_category: dict[str, int] = field(
         default_factory=lambda: {category: 0 for category in CATEGORIES}
     )
 
@@ -109,6 +123,32 @@ class CostLedger:
             raise ConfigurationError("ledger entries must be non-negative")
         self.spent_by_category[category] += cost
         self.questions_by_category[category] += count
+
+    @property
+    def total_retries(self) -> int:
+        """Total retried attempts recorded across all categories."""
+        return sum(self.retries_by_category.values())
+
+    @property
+    def total_abandons(self) -> int:
+        """Total worker abandonments recorded across all categories."""
+        return sum(self.abandons_by_category.values())
+
+    def record_retry(self, category: str, count: int = 1) -> None:
+        """Record ``count`` retried (unpaid) attempts of ``category``."""
+        if category not in self.retries_by_category:
+            raise ConfigurationError(f"unknown ledger category: {category!r}")
+        if count < 0:
+            raise ConfigurationError("ledger entries must be non-negative")
+        self.retries_by_category[category] += count
+
+    def record_abandon(self, category: str, count: int = 1) -> None:
+        """Record ``count`` abandoned (unpaid) assignments of ``category``."""
+        if category not in self.abandons_by_category:
+            raise ConfigurationError(f"unknown ledger category: {category!r}")
+        if count < 0:
+            raise ConfigurationError("ledger entries must be non-negative")
+        self.abandons_by_category[category] += count
 
     def snapshot(self) -> dict[str, float]:
         """Copy of the per-category spend (useful for before/after diffs)."""

@@ -110,6 +110,20 @@ class AnswerRecorder:
         """How many dismantling answers exist for one attribute."""
         return len(self._dismantles.get(attribute, []))
 
+    def recorded_counts(self) -> dict[str, int]:
+        """Total recorded answers per question category.
+
+        Under fault injection only *valid* answers reach the recorder,
+        so comparing these counts with the ledger's question counts
+        (paid) and retry counts (unpaid) audits the resilience layer.
+        """
+        return {
+            "value": sum(len(v) for v in self._values.values()),
+            "dismantle": sum(len(v) for v in self._dismantles.values()),
+            "verification": sum(len(v) for v in self._votes.values()),
+            "example": sum(len(v) for v in self._examples.values()),
+        }
+
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot of every recorded answer."""
         return {

@@ -18,6 +18,26 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+def rejected_indices(original: list[float], kept: list[float]) -> list[int]:
+    """Indices of ``original`` answers a filter dropped.
+
+    Filters return a subsequence (order preserved); this recovers which
+    positions were rejected, multiset-aware (duplicate values are
+    matched left to right).  The resilience layer uses the positions to
+    attribute spam rejections to the workers who produced them, feeding
+    the per-worker circuit breaker.
+    """
+    rejected: list[int] = []
+    kept_iter = iter(kept)
+    pending = next(kept_iter, None)
+    for index, answer in enumerate(original):
+        if pending is not None and answer == pending:
+            pending = next(kept_iter, None)
+        else:
+            rejected.append(index)
+    return rejected
+
+
 class SpamFilter(ABC):
     """Filters a batch of value answers for one (object, attribute)."""
 

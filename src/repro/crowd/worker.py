@@ -37,6 +37,12 @@ class Worker(ABC):
     def __init__(self, worker_id: int, seed: int) -> None:
         self.worker_id = worker_id
         self._rng = np.random.default_rng(seed)
+        #: Multiplier on this worker's operational fault probabilities
+        #: (timeouts, abandons, garbage) under fault injection; 1.0 is
+        #: an average worker.  Set by the pool when heterogeneity is
+        #: configured — it concentrates faults on a few workers, which
+        #: is what makes per-worker quarantine effective.
+        self.fault_proneness: float = 1.0
 
     # -- the four question types ---------------------------------------
 

@@ -33,6 +33,52 @@ class BudgetExhaustedError(ReproError):
         self.remaining = remaining
 
 
+class CrowdFaultError(ReproError):
+    """Base class for operational crowd faults (timeouts, bad answers).
+
+    Raised by the platform's resilience layer once its retry policy is
+    exhausted; planners may catch this to degrade gracefully instead of
+    aborting the whole run.
+    """
+
+
+class CrowdTimeoutError(CrowdFaultError):
+    """Raised when workers repeatedly time out or abandon a question.
+
+    Attributes
+    ----------
+    category:
+        Question category ("value", "dismantle", ...).
+    attempts:
+        How many times the question was attempted before giving up.
+    """
+
+    def __init__(self, category: str, attempts: int) -> None:
+        super().__init__(
+            f"{category} question failed: no usable answer after "
+            f"{attempts} attempt(s)"
+        )
+        self.category = category
+        self.attempts = attempts
+
+
+class MalformedAnswerError(CrowdFaultError):
+    """Raised when a crowd answer is unusable (NaN, out-of-range, wrong type).
+
+    Attributes
+    ----------
+    category:
+        Question category the bad answer came from.
+    answer:
+        The offending raw answer (or a description of it).
+    """
+
+    def __init__(self, category: str, answer: object) -> None:
+        super().__init__(f"malformed {category} answer: {answer!r}")
+        self.category = category
+        self.answer = answer
+
+
 class QueryError(ReproError):
     """Raised when a query string cannot be parsed or is semantically invalid."""
 

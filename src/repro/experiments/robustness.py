@@ -12,6 +12,10 @@ so the benches can check the paper's claims:
   of expression 5; results should stay similar.
 * *Crowd-task payment* — scale the price schedule; gradients change,
   trends stay.
+* *Crowd faults* (beyond the paper) — inject worker timeouts, abandons
+  and garbage answers at increasing rates; with retries and graceful
+  degradation every algorithm must still return a usable plan and the
+  DisQ-beats-baselines trend should survive moderate fault rates.
 
 Plus an ablation (flagged in DESIGN.md) of the optimistic priors used
 by the next-dismantle scorer.
@@ -24,12 +28,13 @@ from collections.abc import Sequence
 from repro.core.model import Query
 from repro.core.online import OnlineEvaluator, query_error
 from repro.core.model import PreprocessingPlan
+from repro.crowd.faults import FaultProfile
 from repro.crowd.normalization import AttributeNormalizer, NormalizationMode
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.pricing import PriceSchedule
 from repro.crowd.recording import AnswerRecorder
 from repro.domains.gaussian import GaussianDomain
-from repro.errors import PlanningError
+from repro.errors import CrowdFaultError, PlanningError
 from repro.experiments.config import ExperimentConfig, algorithm
 
 import numpy as np
@@ -78,7 +83,10 @@ def _averaged(
                     config,
                 )
             )
-        except PlanningError:
+        except (PlanningError, CrowdFaultError):
+            # A run the planner could not salvage (tiny budget, or a
+            # fault-injection run without graceful degradation) is
+            # skipped; the point averages the runs that completed.
             continue
     return float(np.mean(errors)) if errors else float("inf")
 
@@ -159,6 +167,58 @@ def with_rho_constant(
         results[rho] = _averaged(
             "DisQ", make_platform, domain, query, b_obj_cents, b_prc_cents, rho_config
         )
+    return results
+
+
+def with_fault_profile(
+    algorithms: Sequence[str],
+    domain: GaussianDomain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    fault_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    latency_mean: float = 2.0,
+) -> dict[float, dict[str, float]]:
+    """*Crowd faults*: query error per algorithm as faults intensify.
+
+    Workers time out, abandon and answer garbage at each rate in
+    ``fault_rates`` (rate 0.0 is the clean baseline); planners run with
+    graceful degradation enabled so starved statistics salvage a
+    partial plan instead of aborting.  Returns
+    ``{fault_rate: {algorithm: error}}``.
+    """
+    fault_config = config.scaled(
+        params_overrides={
+            **config.params_overrides,
+            "graceful_degradation": True,
+        }
+    )
+    results: dict[float, dict[str, float]] = {}
+    for rate in fault_rates:
+        profile = (
+            FaultProfile.uniform(rate, latency_mean=latency_mean)
+            if rate > 0
+            else FaultProfile.none()
+        )
+
+        def make_platform(seed: int) -> CrowdPlatform:
+            return CrowdPlatform(
+                domain, recorder=AnswerRecorder(), seed=seed, faults=profile
+            )
+
+        results[rate] = {
+            name: _averaged(
+                name,
+                make_platform,
+                domain,
+                query,
+                b_obj_cents,
+                b_prc_cents,
+                fault_config,
+            )
+            for name in algorithms
+        }
     return results
 
 

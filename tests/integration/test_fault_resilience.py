@@ -1,0 +1,126 @@
+"""End-to-end resilience: DisQ planning and evaluation under faults."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.disq import DisQParams, DisQPlanner
+from repro.core.model import Query
+from repro.core.online import OnlineEvaluator
+from repro.crowd.faults import FaultProfile, FaultRates
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pricing import Budget
+from repro.crowd.recording import AnswerRecorder
+
+pytestmark = pytest.mark.faults
+
+
+def make_planner(domain, faults, *, params=None, seed=3, b_prc=1500.0):
+    platform = CrowdPlatform(
+        domain, recorder=AnswerRecorder(), seed=seed, faults=faults
+    )
+    query = Query(targets=("target", "flag_a"))
+    return DisQPlanner(platform, query, 4.0, b_prc, params)
+
+
+class TestDisabledFaultsByteIdentity:
+    def test_none_profile_plans_identically_to_no_faults(self, tiny_domain):
+        params = DisQParams(n1=25, max_rounds=40)
+        plans = [
+            make_planner(tiny_domain, faults, params=params).preprocess()
+            for faults in (None, FaultProfile.none())
+        ]
+        reference, candidate = plans
+        assert candidate.attributes == reference.attributes
+        assert candidate.budget == reference.budget
+        assert candidate.preprocessing_cost == reference.preprocessing_cost
+        assert candidate.discovery_log == reference.discovery_log
+        for target in reference.query.targets:
+            assert (
+                candidate.formulas[target].coefficients
+                == reference.formulas[target].coefficients
+            )
+            assert (
+                candidate.formulas[target].intercept
+                == reference.formulas[target].intercept
+            )
+
+
+class TestPlanningUnderFaults:
+    def test_ten_percent_faults_produce_a_valid_plan(self, tiny_domain):
+        profile = FaultProfile.uniform(0.10, latency_mean=2.0)
+        params = DisQParams(n1=25, max_rounds=40, graceful_degradation=True)
+        planner = make_planner(tiny_domain, profile, params=params)
+        plan = planner.preprocess()
+
+        assert plan.budget.total_questions > 0
+        assert set(plan.query.targets) <= set(plan.attributes)
+        for target in plan.query.targets:
+            formula = plan.formulas[target]
+            assert math.isfinite(formula.intercept)
+            assert all(math.isfinite(c) for c in formula.coefficients.values())
+
+        report = plan.resilience
+        assert report is not None
+        # At a 10% fault rate over hundreds of questions, retries and
+        # drawn faults are statistically certain.
+        assert report.total_retries > 0
+        assert report.timeouts + report.abandons + report.garbage_answers > 0
+        assert report.simulated_seconds > 0.0
+
+    def test_online_phase_completes_under_faults(self, tiny_domain):
+        profile = FaultProfile.uniform(0.10, latency_mean=2.0)
+        params = DisQParams(n1=25, max_rounds=40, graceful_degradation=True)
+        planner = make_planner(tiny_domain, profile, params=params)
+        plan = planner.preprocess()
+
+        online = planner.platform.fork(budget=Budget(500.0))
+        evaluator = OnlineEvaluator(online, plan)
+        estimates = evaluator.evaluate(range(25))
+        for target in plan.query.targets:
+            assert np.isfinite(estimates[target]).all()
+
+    def test_brutal_faults_degrade_instead_of_crashing(self, tiny_domain):
+        # Nearly half of all interactions fault; the planner must still
+        # return a plan and say what it gave up.
+        profile = FaultProfile.uniform(0.45, latency_mean=5.0)
+        params = DisQParams(n1=25, max_rounds=40, graceful_degradation=True)
+        planner = make_planner(tiny_domain, profile, params=params, seed=11)
+        plan = planner.preprocess()
+
+        assert plan.resilience is not None
+        for target in plan.query.targets:
+            assert math.isfinite(plan.formulas[target].intercept)
+        # describe() surfaces the degradations to humans.
+        if plan.degraded:
+            assert "degradations" in plan.describe()
+
+    def test_total_outage_on_dismantling_still_plans(self, tiny_domain):
+        # Dismantling questions always fail: the plan falls back to the
+        # query attributes only, with a degradation note, instead of
+        # dying in the discovery loop.
+        profile = FaultProfile.none().with_override(
+            "dismantle", FaultRates(timeout=1.0)
+        )
+        params = DisQParams(n1=25, max_rounds=40, graceful_degradation=True)
+        planner = make_planner(tiny_domain, profile, params=params)
+        plan = planner.preprocess()
+
+        assert set(plan.attributes) == {"target", "flag_a"}
+        assert plan.budget.total_questions > 0
+        assert plan.degraded
+        assert any("dismantl" in event for event in plan.resilience.degradations)
+
+    def test_without_graceful_degradation_faults_propagate(self, tiny_domain):
+        from repro.errors import CrowdFaultError
+
+        profile = FaultProfile.none().with_override(
+            "example", FaultRates(timeout=1.0)
+        )
+        params = DisQParams(n1=25, max_rounds=40)  # degradation off
+        planner = make_planner(tiny_domain, profile, params=params)
+        with pytest.raises(CrowdFaultError):
+            planner.preprocess()
