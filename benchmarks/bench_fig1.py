@@ -27,6 +27,7 @@ from benchmarks.common import (
     B_PRC_FIXED,
     B_PRC_SWEEP,
     BENCH_CONFIG,
+    bench_parallel,
     mean_errors,
     pictures_domain,
     recipes_domain,
@@ -44,7 +45,10 @@ def _run_b_prc_panel(name, domain, targets):
     query = make_query(domain, targets)
     config = BENCH_CONFIG.scaled(repetitions=3)
     sweep = tuple(b * len(targets) for b in B_PRC_SWEEP)
-    series = sweep_b_prc(ALGOS, domain, query, B_OBJ_FIXED, sweep, config)
+    series = sweep_b_prc(
+        ALGOS, domain, query, B_OBJ_FIXED, sweep, config,
+        parallel=bench_parallel(),
+    )
     write_report(
         name,
         render_series(series, "B_prc(c)", title=f"{name}: error vs B_prc, Q={targets}"),
@@ -55,7 +59,8 @@ def _run_b_prc_panel(name, domain, targets):
 def _run_b_obj_panel(name, domain, targets):
     query = make_query(domain, targets)
     series = sweep_b_obj(
-        ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED * len(targets), BENCH_CONFIG
+        ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED * len(targets), BENCH_CONFIG,
+        parallel=bench_parallel(),
     )
     write_report(
         name,

@@ -13,6 +13,7 @@ from benchmarks.common import (
     B_OBJ_SWEEP,
     B_PRC_FIXED,
     BENCH_CONFIG,
+    bench_parallel,
     pictures_domain,
     write_report,
 )
@@ -25,7 +26,10 @@ ALGOS = ["DisQ", "SimpleDisQ", "NaiveAverage"]
 def _run():
     domain = pictures_domain()
     query = make_query(domain, ("bmi",))
-    series = sweep_b_obj(ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG)
+    series = sweep_b_obj(
+        ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG,
+        parallel=bench_parallel(),
+    )
     # Error targets spanning the achievable range of the sweep.
     achievable = [e for _, e in series["DisQ"] if math.isfinite(e)]
     targets = [round(t, 3) for t in (max(achievable) * 0.9, 0.3, 0.2, 0.15)]

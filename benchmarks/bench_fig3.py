@@ -15,6 +15,7 @@ from benchmarks.common import (
     B_PRC_FIXED,
     B_PRC_SWEEP,
     BENCH_CONFIG,
+    bench_parallel,
     mean_errors,
     recipes_domain,
     write_report,
@@ -31,7 +32,8 @@ def test_fig3a(benchmark):
 
     def run():
         series = sweep_b_prc(
-            ALGOS, domain, query, B_OBJ_FIXED, B_PRC_SWEEP, BENCH_CONFIG
+            ALGOS, domain, query, B_OBJ_FIXED, B_PRC_SWEEP, BENCH_CONFIG,
+            parallel=bench_parallel(),
         )
         write_report(
             "fig3a",
@@ -50,7 +52,8 @@ def test_fig3b(benchmark):
 
     def run():
         series = sweep_b_obj(
-            ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG
+            ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG,
+            parallel=bench_parallel(),
         )
         write_report(
             "fig3b",

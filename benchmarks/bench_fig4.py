@@ -22,6 +22,7 @@ from benchmarks.common import (
     B_OBJ_SWEEP,
     B_PRC_SWEEP,
     BENCH_CONFIG,
+    bench_parallel,
     mean_errors,
     pictures_domain,
     write_report,
@@ -64,7 +65,10 @@ def test_fig4a(benchmark):
     def run():
         sweep = tuple(b * 2 for b in B_PRC_SWEEP)  # two example pools
         config = BENCH_CONFIG.scaled(repetitions=3)
-        series = sweep_b_prc(ALGOS, domain, query, B_OBJ_FIXED, sweep, config)
+        series = sweep_b_prc(
+            ALGOS, domain, query, B_OBJ_FIXED, sweep, config,
+            parallel=bench_parallel(),
+        )
         write_report(
             "fig4a",
             render_series(
@@ -83,7 +87,10 @@ def test_fig4b(benchmark):
 
     def run():
         config = BENCH_CONFIG.scaled(repetitions=3)
-        series = sweep_b_obj(ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_HIGH, config)
+        series = sweep_b_obj(
+            ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_HIGH, config,
+            parallel=bench_parallel(),
+        )
         write_report(
             "fig4b",
             render_series(

@@ -14,6 +14,8 @@ objects instead of 500, statistics pools use ``N_1 = 60`` instead of
 
 from __future__ import annotations
 
+import os
+import time
 from functools import lru_cache
 from pathlib import Path
 
@@ -23,7 +25,7 @@ from repro.domains import (
     make_pictures_domain,
     make_recipes_domain,
 )
-from repro.experiments import ExperimentConfig
+from repro.experiments import ExperimentConfig, ParallelConfig
 
 #: Where benches drop their rendered tables.
 OUT_DIR = Path(__file__).parent / "out"
@@ -64,12 +66,44 @@ def laptops_domain():
     return make_laptops_domain(n_objects=BENCH_CONFIG.n_objects, seed=1)
 
 
-def write_report(name: str, text: str) -> None:
-    """Print a bench report and persist it under ``benchmarks/out``."""
+def bench_parallel() -> ParallelConfig | None:
+    """Sweep parallelism for the figure benches, from ``BENCH_WORKERS``.
+
+    ``BENCH_WORKERS=N`` (N > 1) fans repetitions over N worker
+    processes — results are bit-identical to serial, only the
+    wall-clock in the report footers changes.  Unset/0/1 keeps the
+    serial path (the right default on single-core CI runners, where
+    process fan-out only adds overhead).
+    """
+    workers = int(os.environ.get("BENCH_WORKERS", "0"))
+    if workers > 1:
+        return ParallelConfig(max_workers=workers)
+    return None
+
+
+#: Wall-clock checkpoint: reset by every report, so each footer shows
+#: the time spent producing that figure/table since the previous one.
+_report_clock = time.perf_counter()
+
+
+def write_report(name: str, text: str, elapsed: float | None = None) -> None:
+    """Print a bench report and persist it under ``benchmarks/out``.
+
+    A wall-clock footer (``elapsed`` if given, otherwise the time since
+    the previous report) is appended so serial-versus-parallel gains
+    stay visible in ``benchmarks/out/``.
+    """
+    global _report_clock
+    if elapsed is None:
+        elapsed = time.perf_counter() - _report_clock
+    workers = os.environ.get("BENCH_WORKERS", "")
+    suffix = f", BENCH_WORKERS={workers}" if workers else ""
+    text = text.rstrip("\n") + f"\n[wall-clock: {elapsed:.2f}s{suffix}]"
     print()
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _report_clock = time.perf_counter()
 
 
 def final_errors(series: dict[str, list[tuple[float, float]]]) -> dict[str, float]:

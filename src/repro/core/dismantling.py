@@ -124,17 +124,20 @@ class DismantleScorer:
         costs: np.ndarray,
         budget_cents: float,
         unit_cost: float,
+        method: str = "fast",
     ) -> float:
         """``L(A, u, v)``: value lost by freeing one question's budget.
 
         With heterogeneous prices "one question" is ``unit_cost`` cents
         (the price of the question the new attribute would receive).
+        ``method`` selects the greedy allocator implementation (see
+        :func:`~repro.core.budget.greedy_counts`).
         """
         if not objectives or len(costs) == 0:
             return 0.0
-        full = max_explained_variance(objectives, costs, budget_cents)
+        full = max_explained_variance(objectives, costs, budget_cents, method=method)
         reduced = max_explained_variance(
-            objectives, costs, max(budget_cents - unit_cost, 0.0)
+            objectives, costs, max(budget_cents - unit_cost, 0.0), method=method
         )
         return max(full - reduced, 0.0)
 
@@ -151,9 +154,10 @@ class DismantleScorer:
         budget_cents: float,
         unit_cost: float,
         s_o_fill: SoFill | None = None,
+        method: str = "fast",
     ) -> list[CandidateScore]:
         """Score every candidate; the loss term is shared across them."""
-        loss = self.loss(objectives, costs, budget_cents, unit_cost)
+        loss = self.loss(objectives, costs, budget_cents, unit_cost, method=method)
         scores = []
         for attribute in candidates:
             total_gain = sum(

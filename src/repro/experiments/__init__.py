@@ -6,6 +6,8 @@
   shared recorded crowd answers ("equivalent settings" as in the paper);
 * :mod:`~repro.experiments.sweeps` — budget sweeps (Figures 1, 3, 4) and
   error-target inversion (Figure 2);
+* :mod:`~repro.experiments.parallel` — process-pool execution of
+  repetitions with results bit-identical to serial;
 * :mod:`~repro.experiments.coverage` — gold-standard attribute coverage
   (Section 5.3.1);
 * :mod:`~repro.experiments.robustness` — the Section 5.4 assumption
@@ -14,6 +16,7 @@
 """
 
 from repro.experiments.config import ALGORITHMS, ExperimentConfig
+from repro.experiments.parallel import ParallelConfig, run_averaged_parallel, run_grid
 from repro.experiments.runner import RunResult, run_algorithm, run_averaged
 from repro.experiments.sweeps import (
     required_budget,
@@ -26,6 +29,7 @@ from repro.experiments.report import render_series, render_table
 __all__ = [
     "ALGORITHMS",
     "ExperimentConfig",
+    "ParallelConfig",
     "RunResult",
     "coverage_experiment",
     "render_series",
@@ -33,6 +37,8 @@ __all__ = [
     "required_budget",
     "run_algorithm",
     "run_averaged",
+    "run_averaged_parallel",
+    "run_grid",
     "sweep_b_obj",
     "sweep_b_prc",
 ]

@@ -115,6 +115,12 @@ class ExperimentConfig:
         Database objects processed by the online phase per run.
     domain_seed:
         Seed of the ground-truth world (fixed across algorithms).
+    base_seed:
+        Offset added to the repetition index to form each run's crowd
+        seed (repetition ``r`` runs with seed ``base_seed + r``).  Two
+        experiments with different ``base_seed`` values therefore see
+        independent crowds instead of silently reusing seeds
+        ``0..repetitions-1``.
     params_overrides:
         Extra :class:`~repro.core.disq.DisQParams` fields merged into
         the parameters built by :meth:`make_params`.
@@ -125,6 +131,7 @@ class ExperimentConfig:
     repetitions: int = 3
     eval_objects: int = 80
     domain_seed: int = 1
+    base_seed: int = 0
     params_overrides: dict = field(default_factory=dict)
 
     def make_params(self) -> DisQParams:

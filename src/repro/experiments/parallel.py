@@ -1,0 +1,195 @@
+"""Parallel experiment execution with serial-identical results.
+
+The paper's methodology shares one :class:`~repro.crowd.recording.
+AnswerRecorder` per repetition across every algorithm and every sweep
+point, so the crowd answers any run sees depend on the *order* in which
+earlier runs over the same recorder asked their questions.  That makes
+the (point, algorithm) grid inherently sequential **within** one
+repetition — but repetitions never share a recorder, a worker pool, or
+a seed, so they are embarrassingly parallel.
+
+This module therefore fans *repetitions* across a
+:class:`~concurrent.futures.ProcessPoolExecutor`: each worker process
+replays its repetition's full (point, algorithm) grid serially, in
+exactly the order the serial sweep would have used, against its own
+fresh recorder and ``base_seed + repetition`` seed.  Merging simply
+averages per-(point, algorithm) errors in repetition order, which is
+the identical float reduction the serial path performs — results are
+bit-identical to serial execution by construction (asserted in
+``tests/integration/test_parallel_experiments.py`` and the perf
+harness).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import Query
+from repro.crowd.recording import AnswerRecorder
+from repro.domains.base import Domain
+from repro.errors import PlanningError
+from repro.experiments.config import ExperimentConfig
+
+#: One sweep grid point: ``(b_obj_cents, b_prc_cents)``.
+GridPoint = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan experiment repetitions across worker processes.
+
+    Attributes
+    ----------
+    max_workers:
+        Upper bound on worker processes.  ``0`` means "one per CPU";
+        the effective pool never exceeds the number of repetitions.
+        A resolved value of 1 short-circuits to in-process execution
+        (no executor, no pickling) with identical results.
+    """
+
+    max_workers: int = 0
+
+    def resolve(self, n_tasks: int) -> int:
+        """Effective worker count for ``n_tasks`` parallel tasks."""
+        limit = self.max_workers if self.max_workers > 0 else (os.cpu_count() or 1)
+        return max(1, min(limit, n_tasks))
+
+
+def _repetition_grid(
+    args: tuple[
+        Sequence[str], Domain, Query, Sequence[GridPoint], ExperimentConfig, int
+    ],
+) -> list[list[float | None]]:
+    """Worker: one repetition's full grid, serially, on a fresh recorder.
+
+    Returns ``errors[point_index][algorithm_index]`` with ``None`` where
+    preprocessing was infeasible (the serial path's skipped runs).
+    Module-level so it pickles for the process pool.
+    """
+    # Imported lazily so worker processes pay the import once, and to
+    # keep this module import-light for the executor bootstrap.
+    from repro.experiments.runner import run_algorithm
+
+    names, domain, query, points, config, repetition = args
+    recorder = AnswerRecorder()
+    errors: list[list[float | None]] = []
+    for b_obj, b_prc in points:
+        row: list[float | None] = []
+        for name in names:
+            try:
+                result = run_algorithm(
+                    name,
+                    domain,
+                    query,
+                    b_obj,
+                    b_prc,
+                    config,
+                    seed=config.base_seed + repetition,
+                    recorder=recorder,
+                )
+                row.append(result.error)
+            except PlanningError:
+                row.append(None)
+        errors.append(row)
+    return errors
+
+
+def _merge_errors(per_repetition: list[float | None]) -> float:
+    """Average one cell's repetition errors exactly as the serial path.
+
+    Infeasible repetitions are skipped; all-infeasible cells are
+    ``inf`` (the paper never plots underfunded points).
+    """
+    errors = [error for error in per_repetition if error is not None]
+    if not errors:
+        return float("inf")
+    return float(np.mean(errors))
+
+
+def run_grid(
+    algorithms: Sequence[str],
+    domain: Domain,
+    query: Query,
+    points: Sequence[GridPoint],
+    config: ExperimentConfig,
+    parallel: ParallelConfig | None = None,
+) -> dict[tuple[int, str], float]:
+    """Mean error per (point index, algorithm) over all repetitions.
+
+    Repetitions run across processes per ``parallel`` (in-process when
+    ``parallel`` is ``None`` or resolves to one worker); each keeps the
+    paper's shared-recorder replay semantics internally, so the merged
+    result is bit-identical to the serial nested loops.
+    """
+    tasks = [
+        (tuple(algorithms), domain, query, tuple(points), config, repetition)
+        for repetition in range(config.repetitions)
+    ]
+    workers = (parallel or ParallelConfig(max_workers=1)).resolve(len(tasks))
+    if workers <= 1:
+        per_repetition = [_repetition_grid(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            per_repetition = list(executor.map(_repetition_grid, tasks))
+    merged: dict[tuple[int, str], float] = {}
+    for point_index in range(len(points)):
+        for algorithm_index, name in enumerate(algorithms):
+            merged[(point_index, name)] = _merge_errors(
+                [grid[point_index][algorithm_index] for grid in per_repetition]
+            )
+    return merged
+
+
+def _repetition_single(
+    args: tuple[str, Domain, Query, float, float, ExperimentConfig, int],
+) -> float | None:
+    """Worker: one repetition of one algorithm on a fresh recorder."""
+    from repro.experiments.runner import run_algorithm
+
+    name, domain, query, b_obj, b_prc, config, repetition = args
+    try:
+        return run_algorithm(
+            name,
+            domain,
+            query,
+            b_obj,
+            b_prc,
+            config,
+            seed=config.base_seed + repetition,
+            recorder=None,
+        ).error
+    except PlanningError:
+        return None
+
+
+def run_averaged_parallel(
+    name: str,
+    domain: Domain,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    config: ExperimentConfig,
+    parallel: ParallelConfig,
+) -> float:
+    """Parallel :func:`~repro.experiments.runner.run_averaged`.
+
+    Only valid for independent repetitions (no caller-shared
+    recorders); each repetition gets a fresh recorder exactly as the
+    serial path does when no recorders are passed.
+    """
+    tasks = [
+        (name, domain, query, b_obj_cents, b_prc_cents, config, repetition)
+        for repetition in range(config.repetitions)
+    ]
+    workers = parallel.resolve(len(tasks))
+    if workers <= 1:
+        results = [_repetition_single(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            results = list(executor.map(_repetition_single, tasks))
+    return _merge_errors(results)

@@ -12,8 +12,12 @@ platform fork (cursors reset) so it sees the same answer streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.experiments.parallel import ParallelConfig
 
 from repro.core.model import PreprocessingPlan, Query
 from repro.core.online import OnlineEvaluator, default_weights, query_error
@@ -91,15 +95,32 @@ def run_averaged(
     b_prc_cents: float,
     config: ExperimentConfig,
     recorders: list[AnswerRecorder] | None = None,
+    parallel: "ParallelConfig | None" = None,
 ) -> float:
     """Mean query error over ``config.repetitions`` independent runs.
 
-    Pass ``recorders`` (one per repetition) to compare several
-    algorithms on the *same* crowd answers — the paper's methodology.
-    Runs whose preprocessing budget cannot even buy the example pools
-    are skipped (the paper never plots such underfunded points); if all
-    repetitions are infeasible the result is ``inf``.
+    Repetition ``r`` runs with seed ``config.base_seed + r``, so two
+    experiments only share crowd randomness when they share a
+    ``base_seed``.  Pass ``recorders`` (one per repetition) to compare
+    several algorithms on the *same* crowd answers — the paper's
+    methodology.  Runs whose preprocessing budget cannot even buy the
+    example pools are skipped (the paper never plots such underfunded
+    points); if all repetitions are infeasible the result is ``inf``.
+
+    With a :class:`~repro.experiments.parallel.ParallelConfig` and no
+    caller-shared ``recorders``, repetitions fan out across worker
+    processes with bit-identical results (each repetition is
+    independent).  Shared recorders force the serial path: their
+    mutation order is part of the replay semantics, and sweep-level
+    parallelism (see :mod:`~repro.experiments.parallel`) handles that
+    case instead.
     """
+    if parallel is not None and recorders is None:
+        from repro.experiments.parallel import run_averaged_parallel
+
+        return run_averaged_parallel(
+            name, domain, query, b_obj_cents, b_prc_cents, config, parallel
+        )
     errors: list[float] = []
     for repetition in range(config.repetitions):
         recorder = recorders[repetition] if recorders else None
@@ -111,7 +132,7 @@ def run_averaged(
                 b_obj_cents,
                 b_prc_cents,
                 config,
-                seed=repetition,
+                seed=config.base_seed + repetition,
                 recorder=recorder,
             )
         except PlanningError:

@@ -8,18 +8,29 @@ These produce the data behind the paper's line plots:
   ``B_obj`` at a fixed preprocessing budget;
 * Figure 2: the ``B_obj`` needed by each algorithm to reach given
   error targets (inversion of a ``B_obj`` sweep).
+
+Both sweep functions accept a :class:`~repro.experiments.parallel.
+ParallelConfig`: repetitions then fan out across worker processes (each
+replaying its full point/algorithm grid serially against its own
+recorder), producing results bit-identical to the serial nested loops
+— see :mod:`repro.experiments.parallel` for why that is the only
+parallel axis compatible with the shared-recorder replay semantics.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.model import Query
 from repro.crowd.recording import AnswerRecorder
 from repro.domains.base import Domain
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_averaged
+
+if TYPE_CHECKING:
+    from repro.experiments.parallel import ParallelConfig
 
 #: A sweep result: algorithm -> list of (budget, mean error) points.
 SweepSeries = dict[str, list[tuple[float, float]]]
@@ -35,6 +46,28 @@ def _shared_recorders(config: ExperimentConfig) -> list[AnswerRecorder]:
     return [AnswerRecorder() for _ in range(config.repetitions)]
 
 
+def _parallel_series(
+    algorithms: Sequence[str],
+    domain: Domain,
+    query: Query,
+    points: list[tuple[float, float]],
+    axis_values: Sequence[float],
+    config: ExperimentConfig,
+    parallel: "ParallelConfig",
+) -> SweepSeries:
+    """Run the grid through the parallel engine and shape the series."""
+    from repro.experiments.parallel import run_grid
+
+    merged = run_grid(algorithms, domain, query, points, config, parallel)
+    return {
+        name: [
+            (axis_value, merged[(index, name)])
+            for index, axis_value in enumerate(axis_values)
+        ]
+        for name in algorithms
+    }
+
+
 def sweep_b_prc(
     algorithms: Sequence[str],
     domain: Domain,
@@ -42,8 +75,14 @@ def sweep_b_prc(
     b_obj_cents: float,
     b_prc_values: Sequence[float],
     config: ExperimentConfig,
+    parallel: "ParallelConfig | None" = None,
 ) -> SweepSeries:
     """Error versus preprocessing budget at fixed ``B_obj``."""
+    if parallel is not None:
+        points = [(b_obj_cents, b_prc) for b_prc in b_prc_values]
+        return _parallel_series(
+            algorithms, domain, query, points, b_prc_values, config, parallel
+        )
     recorders = _shared_recorders(config)
     series: SweepSeries = {name: [] for name in algorithms}
     for b_prc in b_prc_values:
@@ -62,8 +101,14 @@ def sweep_b_obj(
     b_obj_values: Sequence[float],
     b_prc_cents: float,
     config: ExperimentConfig,
+    parallel: "ParallelConfig | None" = None,
 ) -> SweepSeries:
     """Error versus per-object budget at fixed ``B_prc``."""
+    if parallel is not None:
+        points = [(b_obj, b_prc_cents) for b_obj in b_obj_values]
+        return _parallel_series(
+            algorithms, domain, query, points, b_obj_values, config, parallel
+        )
     recorders = _shared_recorders(config)
     series: SweepSeries = {name: [] for name in algorithms}
     for b_obj in b_obj_values:

@@ -4,7 +4,13 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.budget import TargetObjective, greedy_counts, max_explained_variance
+from repro.core.budget import (
+    TargetObjective,
+    greedy_counts,
+    greedy_counts_fast,
+    greedy_counts_reference,
+    max_explained_variance,
+)
 from repro.core.objective import explained_variance
 
 
@@ -82,6 +88,22 @@ class TestGreedyProperties:
         small = max_explained_variance([objective], costs, 1.0)
         large = max_explained_variance([objective], costs, 5.0)
         assert large >= small - 1e-9
+
+    @given(
+        statistics_trio(),
+        st.floats(min_value=0.1, max_value=8.0),
+        st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fast_matches_reference_counts(self, trio, budget, cost_seed):
+        """The incremental allocator is count-identical to the naive
+        loop on arbitrary statistics, costs and budgets."""
+        s_o, s_a, s_c, _ = trio
+        objective = TargetObjective(1.0, s_o, s_a, s_c)
+        costs = np.random.default_rng(cost_seed).uniform(0.1, 1.0, len(s_o))
+        reference = greedy_counts_reference([objective], costs, budget)
+        fast = greedy_counts_fast([objective], costs, budget)
+        assert (fast == reference).all()
 
     @given(statistics_trio(), st.floats(min_value=0.5, max_value=4.0))
     @settings(max_examples=40, deadline=None)

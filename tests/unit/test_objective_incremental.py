@@ -1,0 +1,111 @@
+"""The incremental objective evaluator against the reference formula."""
+
+import numpy as np
+import pytest
+
+from repro.core import objective as objective_module
+from repro.core.objective import IncrementalObjective, explained_variance
+
+
+def random_trio(n: int, seed: int):
+    """Cauchy-Schwarz-consistent random statistics (estimator regime)."""
+    rng = np.random.default_rng(seed)
+    loadings = rng.normal(size=(n + 1, 3))
+    values = loadings @ rng.normal(size=(3, 200))
+    target = values[0]
+    attributes = values[1:]
+    s_o = attributes @ target / 200
+    s_a = attributes @ attributes.T / 200
+    s_c = rng.uniform(0.01, 2.0, n)
+    return s_o, s_a, s_c
+
+
+def reference_value(s_o, s_a, s_c, counts, weight=1.0):
+    return weight * explained_variance(s_o, s_a, s_c, counts)
+
+
+class TestIncrementalMatchesReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_commit_sequences(self, seed):
+        n = 5
+        s_o, s_a, s_c = random_trio(n, seed)
+        rng = np.random.default_rng(100 + seed)
+        evaluator = IncrementalObjective(s_o, s_a, s_c, weight=1.7)
+        for _ in range(30):
+            index = int(rng.integers(n))
+            trial = evaluator.counts.copy()
+            trial[index] += 1
+            expected = reference_value(s_o, s_a, s_c, trial, weight=1.7)
+            assert evaluator.value_with(index) == pytest.approx(
+                expected, rel=1e-9, abs=1e-12
+            )
+            batch = evaluator.values_with_all()
+            assert batch[index] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+            evaluator.commit(index)
+            assert evaluator.value == pytest.approx(
+                expected, rel=1e-9, abs=1e-12
+            )
+
+    def test_values_with_all_covers_every_candidate(self):
+        n = 6
+        s_o, s_a, s_c = random_trio(n, seed=42)
+        evaluator = IncrementalObjective(s_o, s_a, s_c)
+        for index in (0, 3, 3, 5):
+            evaluator.commit(index)
+        batch = evaluator.values_with_all()
+        assert batch.shape == (n,)
+        for i in range(n):
+            trial = evaluator.counts.copy()
+            trial[i] += 1
+            assert batch[i] == pytest.approx(
+                reference_value(s_o, s_a, s_c, trial), rel=1e-9, abs=1e-12
+            )
+
+    def test_drift_clamped_past_refresh(self):
+        """Long commit runs (past _REFRESH_EVERY rebuilds) stay exact."""
+        n = 4
+        s_o, s_a, s_c = random_trio(n, seed=3)
+        rng = np.random.default_rng(9)
+        evaluator = IncrementalObjective(s_o, s_a, s_c)
+        steps = objective_module._REFRESH_EVERY * 2 + 5
+        for _ in range(steps):
+            evaluator.commit(int(rng.integers(n)))
+        assert evaluator.value == pytest.approx(
+            reference_value(s_o, s_a, s_c, evaluator.counts),
+            rel=1e-9,
+            abs=1e-12,
+        )
+
+
+class TestDegenerateInputs:
+    def test_empty_support_is_zero(self):
+        s_o, s_a, s_c = random_trio(3, seed=0)
+        evaluator = IncrementalObjective(s_o, s_a, s_c)
+        assert evaluator.value == 0.0
+
+    def test_singular_support_matches_ridge_reference(self):
+        """Perfectly collinear attributes with zero question noise make
+        the support matrix singular — both paths must agree via the
+        shared ridge fallback."""
+        s_o = np.array([0.9, 0.9])
+        s_a = np.ones((2, 2))
+        s_c = np.zeros(2)
+        evaluator = IncrementalObjective(s_o, s_a, s_c)
+        evaluator.commit(0)
+        trial = np.array([1, 1])
+        expected = reference_value(s_o, s_a, s_c, trial)
+        assert evaluator.value_with(1) == pytest.approx(expected, rel=1e-9)
+        assert evaluator.values_with_all()[1] == pytest.approx(
+            expected, rel=1e-9
+        )
+        evaluator.commit(1)
+        assert evaluator.value == pytest.approx(expected, rel=1e-9)
+        # Further grants keep matching the reference while singular.
+        evaluator.commit(0)
+        assert evaluator.value == pytest.approx(
+            reference_value(s_o, s_a, s_c, np.array([2, 1])), rel=1e-9
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalObjective(np.ones(3), np.eye(2), np.ones(3))
