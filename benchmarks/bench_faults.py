@@ -21,7 +21,9 @@ from benchmarks.common import (
     B_OBJ_FIXED,
     B_PRC_FIXED,
     BENCH_CONFIG,
+    bench_obs,
     pictures_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.experiments import render_table
@@ -39,6 +41,7 @@ def test_fault_sweep(benchmark):
     """flt1: fault rate sweep — liveness everywhere, trend at <= 10%."""
     domain = pictures_domain()
     query = make_query(domain, ("bmi",))
+    obs = bench_obs()
 
     def run():
         return with_fault_profile(
@@ -49,6 +52,7 @@ def test_fault_sweep(benchmark):
             B_PRC_FIXED,
             BENCH_CONFIG,
             fault_rates=FAULT_RATES,
+            obs=obs,
         )
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
@@ -62,6 +66,9 @@ def test_fault_sweep(benchmark):
         render_table(
             ["fault profile", *ALGOS], rows, title="flt1_fault_sweep"
         ),
+    )
+    write_bench_manifest(
+        "flt1_fault_sweep", obs, extra={"fault_rates": list(FAULT_RATES)}
     )
 
     # Liveness: every algorithm produced a plan and finite error at

@@ -27,10 +27,12 @@ from benchmarks.common import (
     B_PRC_FIXED,
     B_PRC_SWEEP,
     BENCH_CONFIG,
+    bench_obs,
     bench_parallel,
     mean_errors,
     pictures_domain,
     recipes_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.experiments import render_series, sweep_b_obj, sweep_b_prc
@@ -45,27 +47,31 @@ def _run_b_prc_panel(name, domain, targets):
     query = make_query(domain, targets)
     config = BENCH_CONFIG.scaled(repetitions=3)
     sweep = tuple(b * len(targets) for b in B_PRC_SWEEP)
+    obs = bench_obs()
     series = sweep_b_prc(
         ALGOS, domain, query, B_OBJ_FIXED, sweep, config,
-        parallel=bench_parallel(),
+        parallel=bench_parallel(), obs=obs,
     )
     write_report(
         name,
         render_series(series, "B_prc(c)", title=f"{name}: error vs B_prc, Q={targets}"),
     )
+    write_bench_manifest(name, obs)
     return series
 
 
 def _run_b_obj_panel(name, domain, targets):
     query = make_query(domain, targets)
+    obs = bench_obs()
     series = sweep_b_obj(
         ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED * len(targets), BENCH_CONFIG,
-        parallel=bench_parallel(),
+        parallel=bench_parallel(), obs=obs,
     )
     write_report(
         name,
         render_series(series, "B_obj(c)", title=f"{name}: error vs B_obj, Q={targets}"),
     )
+    write_bench_manifest(name, obs)
     return series
 
 

@@ -13,8 +13,10 @@ from benchmarks.common import (
     B_OBJ_SWEEP,
     B_PRC_FIXED,
     BENCH_CONFIG,
+    bench_obs,
     bench_parallel,
     pictures_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.experiments import render_table, required_budget, sweep_b_obj
@@ -26,9 +28,10 @@ ALGOS = ["DisQ", "SimpleDisQ", "NaiveAverage"]
 def _run():
     domain = pictures_domain()
     query = make_query(domain, ("bmi",))
+    obs = bench_obs()
     series = sweep_b_obj(
         ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG,
-        parallel=bench_parallel(),
+        parallel=bench_parallel(), obs=obs,
     )
     # Error targets spanning the achievable range of the sweep.
     achievable = [e for _, e in series["DisQ"] if math.isfinite(e)]
@@ -50,6 +53,7 @@ def _run():
             title="fig2: necessary B_obj (cents) for target errors, Q=(bmi,)",
         ),
     )
+    write_bench_manifest("fig2", obs)
     return needed
 
 

@@ -15,9 +15,11 @@ from benchmarks.common import (
     B_PRC_FIXED,
     B_PRC_SWEEP,
     BENCH_CONFIG,
+    bench_obs,
     bench_parallel,
     mean_errors,
     recipes_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.experiments import render_series, sweep_b_obj, sweep_b_prc
@@ -31,14 +33,16 @@ def test_fig3a(benchmark):
     query = make_query(domain, ("protein",))
 
     def run():
+        obs = bench_obs()
         series = sweep_b_prc(
             ALGOS, domain, query, B_OBJ_FIXED, B_PRC_SWEEP, BENCH_CONFIG,
-            parallel=bench_parallel(),
+            parallel=bench_parallel(), obs=obs,
         )
         write_report(
             "fig3a",
             render_series(series, "B_prc(c)", title="fig3a: DisQ vs OnlyQueryAttributes"),
         )
+        write_bench_manifest("fig3a", obs)
         return series
 
     series = benchmark.pedantic(run, iterations=1, rounds=1)
@@ -51,14 +55,16 @@ def test_fig3b(benchmark):
     query = make_query(domain, ("protein",))
 
     def run():
+        obs = bench_obs()
         series = sweep_b_obj(
             ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_FIXED, BENCH_CONFIG,
-            parallel=bench_parallel(),
+            parallel=bench_parallel(), obs=obs,
         )
         write_report(
             "fig3b",
             render_series(series, "B_obj(c)", title="fig3b: DisQ vs OnlyQueryAttributes"),
         )
+        write_bench_manifest("fig3b", obs)
         return series
 
     series = benchmark.pedantic(run, iterations=1, rounds=1)

@@ -22,9 +22,11 @@ from benchmarks.common import (
     B_OBJ_SWEEP,
     B_PRC_SWEEP,
     BENCH_CONFIG,
+    bench_obs,
     bench_parallel,
     mean_errors,
     pictures_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.experiments import render_series, sweep_b_obj, sweep_b_prc
@@ -65,9 +67,10 @@ def test_fig4a(benchmark):
     def run():
         sweep = tuple(b * 2 for b in B_PRC_SWEEP)  # two example pools
         config = BENCH_CONFIG.scaled(repetitions=3)
+        obs = bench_obs()
         series = sweep_b_prc(
             ALGOS, domain, query, B_OBJ_FIXED, sweep, config,
-            parallel=bench_parallel(),
+            parallel=bench_parallel(), obs=obs,
         )
         write_report(
             "fig4a",
@@ -75,6 +78,7 @@ def test_fig4a(benchmark):
                 series, "B_prc(c)", title="fig4a: statistic estimation variants"
             ),
         )
+        write_bench_manifest("fig4a", obs)
         return series
 
     series = benchmark.pedantic(run, iterations=1, rounds=1)
@@ -87,9 +91,10 @@ def test_fig4b(benchmark):
 
     def run():
         config = BENCH_CONFIG.scaled(repetitions=3)
+        obs = bench_obs()
         series = sweep_b_obj(
             ALGOS, domain, query, B_OBJ_SWEEP, B_PRC_HIGH, config,
-            parallel=bench_parallel(),
+            parallel=bench_parallel(), obs=obs,
         )
         write_report(
             "fig4b",
@@ -97,6 +102,7 @@ def test_fig4b(benchmark):
                 series, "B_obj(c)", title="fig4b: statistic estimation variants"
             ),
         )
+        write_bench_manifest("fig4b", obs)
         return series
 
     series = benchmark.pedantic(run, iterations=1, rounds=1)

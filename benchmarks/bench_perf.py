@@ -38,10 +38,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from repro.core.budget import (
     TargetObjective,
+    greedy_counts,
     greedy_counts_fast,
     greedy_counts_reference,
 )
 from repro.experiments import ParallelConfig, sweep_b_prc
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
 
 from common import BENCH_CONFIG, pictures_domain
 
@@ -162,6 +165,107 @@ def bench_sweep(workers: int, quick: bool) -> dict:
     }
 
 
+def bench_obs_overhead(quick: bool) -> dict:
+    """Observability cost: disabled must be free, enabled must be exact.
+
+    * Allocator: times ``greedy_counts_fast`` with ``metrics=None``
+      (the default — one ``None`` check per call, after the grant
+      loop) against a recording :class:`MetricsRegistry`; hard-fails
+      if the counts ever differ or the registry's grant total does not
+      equal the granted questions.
+    * Sweep: the same serial sweep with the default no-op bundle and
+      with a collecting :class:`Observability`; hard-fails unless both
+      error series are identical (instrumentation must never change
+      results), and reports the disabled/enabled wall-clock ratio —
+      the disabled run is the library default, so the allocator and
+      sweep sections above already measure its absolute cost.
+    """
+    # --- allocator: metrics=None vs a live registry -------------------
+    n = 20
+    instances = 40 if quick else 120
+    cases = []
+    for seed in range(instances):
+        objective = random_objective(n, seed=7000 + seed)
+        rng = np.random.default_rng(seed)
+        cases.append(([objective], rng.uniform(0.2, 1.0, n), float(n) * 1.5))
+
+    start = time.perf_counter()
+    disabled = [
+        greedy_counts_fast(objs, costs, budget) for objs, costs, budget in cases
+    ]
+    alloc_disabled_s = time.perf_counter() - start
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    enabled = [
+        greedy_counts(objs, costs, budget, metrics=registry)
+        for objs, costs, budget in cases
+    ]
+    alloc_enabled_s = time.perf_counter() - start
+
+    for off, on in zip(disabled, enabled):
+        if not np.array_equal(off, on):
+            raise SystemExit(
+                f"FAIL: allocator counts change under metrics: "
+                f"{on.tolist()} != {off.tolist()}"
+            )
+    grants = int(sum(counts.sum() for counts in disabled))
+    if int(registry.counter("allocator.grants")) != grants:
+        raise SystemExit(
+            f"FAIL: allocator.grants={registry.counter('allocator.grants')} "
+            f"!= granted {grants}"
+        )
+
+    # --- sweep: no-op bundle vs collecting bundle ---------------------
+    domain = pictures_domain()
+    from repro.experiments.runner import make_query
+
+    query = make_query(domain, ("bmi",))
+    config = BENCH_CONFIG.scaled(repetitions=2)
+    b_prc_values = (800.0, 1500.0) if quick else (800.0, 1500.0, 2500.0)
+
+    start = time.perf_counter()
+    plain = sweep_b_prc(("DisQ",), domain, query, 4.0, b_prc_values, config)
+    sweep_disabled_s = time.perf_counter() - start
+
+    obs = Observability.collecting()
+    start = time.perf_counter()
+    instrumented = sweep_b_prc(
+        ("DisQ",), domain, query, 4.0, b_prc_values, config, obs=obs
+    )
+    sweep_enabled_s = time.perf_counter() - start
+
+    if plain != instrumented:
+        raise SystemExit(
+            f"FAIL: instrumentation changed sweep results:\n"
+            f"disabled: {plain}\nenabled:  {instrumented}"
+        )
+
+    def overhead(disabled_s: float, enabled_s: float) -> float:
+        return round(100.0 * (enabled_s - disabled_s) / disabled_s, 2)
+
+    alloc_overhead = overhead(alloc_disabled_s, alloc_enabled_s)
+    sweep_overhead = overhead(sweep_disabled_s, sweep_enabled_s)
+    print(
+        f"obs allocator: disabled {alloc_disabled_s:.3f}s  "
+        f"enabled {alloc_enabled_s:.3f}s  overhead {alloc_overhead:+.1f}%"
+    )
+    print(
+        f"obs sweep: disabled {sweep_disabled_s:.2f}s  "
+        f"enabled {sweep_enabled_s:.2f}s  overhead {sweep_overhead:+.1f}%  "
+        f"identical=True"
+    )
+    return {
+        "allocator_disabled_s": round(alloc_disabled_s, 4),
+        "allocator_enabled_s": round(alloc_enabled_s, 4),
+        "allocator_overhead_pct": alloc_overhead,
+        "sweep_disabled_s": round(sweep_disabled_s, 2),
+        "sweep_enabled_s": round(sweep_enabled_s, 2),
+        "sweep_overhead_pct": sweep_overhead,
+        "identical": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -181,6 +285,7 @@ def main() -> None:
         "machine": {"cpu_count": cpu_count},
         "allocator": bench_allocator(sizes, instances),
         "sweep": bench_sweep(workers, args.quick),
+        "obs": bench_obs_overhead(args.quick),
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")

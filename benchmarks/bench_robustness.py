@@ -17,7 +17,9 @@ from benchmarks.common import (
     B_OBJ_FIXED,
     B_PRC_FIXED,
     BENCH_CONFIG,
+    bench_obs,
     pictures_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.crowd.normalization import NormalizationMode
@@ -57,14 +59,17 @@ def test_attribute_quality(benchmark):
     domain = pictures_domain()
     query = _query()
 
+    obs = bench_obs()
+
     def run():
         return with_degraded_taxonomy(
             ALGOS, domain, query, B_OBJ_FIXED, B_PRC_FIXED, BENCH_CONFIG,
-            extra_irrelevant=0.4,
+            extra_irrelevant=0.4, obs=obs,
         )
 
     errors = benchmark.pedantic(run, iterations=1, rounds=1)
     _report("rob1_attribute_quality", {"extra_irrelevant=0.4": errors})
+    write_bench_manifest("rob1_attribute_quality", obs)
     # The paper's robustness claim: the trends (DisQ best) survive the
     # degradation.  SimpleDisQ and NaiveAverage are close to each other
     # on Bmi, so only DisQ's lead is asserted.
@@ -77,17 +82,20 @@ def test_normalization(benchmark):
     domain = pictures_domain()
     query = _query()
 
+    obs = bench_obs()
+
     def run():
         return {
             mode.value: with_normalization_mode(
                 ALGOS, domain, query, B_OBJ_FIXED, B_PRC_FIXED, BENCH_CONFIG,
-                mode=mode,
+                mode=mode, obs=obs,
             )
             for mode in (NormalizationMode.IMPERFECT, NormalizationMode.NONE)
         }
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     _report("rob2_normalization", results)
+    write_bench_manifest("rob2_normalization", obs)
     for mode, errors in results.items():
         assert errors["DisQ"] < errors["NaiveAverage"], (mode, errors)
         assert errors["DisQ"] < errors["SimpleDisQ"] * 1.05, (mode, errors)
@@ -98,14 +106,17 @@ def test_rho_constant(benchmark):
     domain = pictures_domain()
     query = _query()
 
+    obs = bench_obs()
+
     def run():
         return with_rho_constant(
             domain, query, B_OBJ_FIXED, B_PRC_FIXED, BENCH_CONFIG,
-            rho_values=(0.3, 0.5, 0.7),
+            rho_values=(0.3, 0.5, 0.7), obs=obs,
         )
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     _report("rob3_rho_constant", {f"rho={rho}": err for rho, err in results.items()})
+    write_bench_manifest("rob3_rho_constant", obs)
     errors = list(results.values())
     assert all(math.isfinite(e) for e in errors)
     # "The results remained similar": within 2.5x of each other.
@@ -117,13 +128,17 @@ def test_pricing(benchmark):
     domain = pictures_domain()
     query = _query()
 
+    obs = bench_obs()
+
     def run():
         return with_price_scale(
-            ALGOS, domain, query, B_OBJ_FIXED, B_PRC_FIXED, BENCH_CONFIG, scale=2.0
+            ALGOS, domain, query, B_OBJ_FIXED, B_PRC_FIXED, BENCH_CONFIG,
+            scale=2.0, obs=obs,
         )
 
     errors = benchmark.pedantic(run, iterations=1, rounds=1)
     _report("rob4_pricing", {"scale=2.0": errors})
+    write_bench_manifest("rob4_pricing", obs)
     assert errors["DisQ"] < errors["SimpleDisQ"], errors
     assert errors["DisQ"] < errors["NaiveAverage"], errors
 
@@ -147,11 +162,14 @@ def test_optimism_ablation(benchmark):
 
     domain = pictures_domain()
     query = _query()
+    obs = bench_obs()
 
     def run_with(rho_constant):
         errors = []
         for seed in range(BENCH_CONFIG.repetitions):
-            platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed)
+            platform = CrowdPlatform(
+                domain, recorder=AnswerRecorder(), seed=seed, obs=obs
+            )
             params = DisQParams(
                 n1=BENCH_CONFIG.n1,
                 rho_constant=rho_constant,
@@ -170,4 +188,5 @@ def test_optimism_ablation(benchmark):
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     _report("ablation_optimism", results)
+    write_bench_manifest("ablation_optimism", obs)
     assert results["optimistic(0.5)"] < results["pessimistic(0.05)"], results

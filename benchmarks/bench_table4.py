@@ -11,8 +11,10 @@ from collections import Counter
 
 from benchmarks.common import (
     BENCH_CONFIG,
+    bench_obs,
     pictures_domain,
     recipes_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.crowd.platform import CrowdPlatform
@@ -24,17 +26,18 @@ from repro.experiments import render_table
 N_QUESTIONS = 400
 
 
-def dismantle_frequencies(domain, attribute, n=N_QUESTIONS, seed=0):
-    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed)
+def dismantle_frequencies(domain, attribute, n=N_QUESTIONS, seed=0, obs=None):
+    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed, obs=obs)
     counts = Counter(platform.ask_dismantle(attribute) for _ in range(n))
     return {name: count / n for name, count in counts.most_common()}
 
 
-def _table(domain, questions, expected_leaders):
+def _table(name, domain, questions):
+    obs = bench_obs()
     rows = []
     observed = {}
     for attribute in questions:
-        frequencies = dismantle_frequencies(domain, attribute)
+        frequencies = dismantle_frequencies(domain, attribute, obs=obs)
         observed[attribute] = frequencies
         for rank, (answer, share) in enumerate(list(frequencies.items())[:4]):
             rows.append([attribute if rank == 0 else "", answer, share])
@@ -44,6 +47,7 @@ def _table(domain, questions, expected_leaders):
         title=f"table4 ({domain.name}): dismantling answers",
         precision=3,
     )
+    write_bench_manifest(name, obs, extra={"questions": list(questions)})
     return text, observed
 
 
@@ -51,7 +55,7 @@ def test_table4a(benchmark):
     domain = pictures_domain()
     questions = ["bmi", "height", "age", "attractive"]
     text, observed = benchmark.pedantic(
-        lambda: _table(domain, questions, None), iterations=1, rounds=1
+        lambda: _table("table4a", domain, questions), iterations=1, rounds=1
     )
     write_report("table4a", text)
     # Paper's leaders: Bmi -> Weight/Height ~33% each; Age -> Wrinkles.
@@ -67,7 +71,7 @@ def test_table4b(benchmark):
     domain = recipes_domain()
     questions = ["calories", "protein", "healthy", "easy_to_make"]
     text, observed = benchmark.pedantic(
-        lambda: _table(domain, questions, None), iterations=1, rounds=1
+        lambda: _table("table4b", domain, questions), iterations=1, rounds=1
     )
     write_report("table4b", text)
     # Paper's leaders: Calories -> Has Eggs 8%; Protein -> Has Meat 13%;

@@ -16,8 +16,10 @@ import numpy as np
 
 from benchmarks.common import (
     BENCH_CONFIG,
+    bench_obs,
     pictures_domain,
     recipes_domain,
+    write_bench_manifest,
     write_report,
 )
 from repro.core.statistics import StatisticsStore
@@ -30,9 +32,9 @@ N1 = 150
 K = 2
 
 
-def collect_statistics(domain, targets, attributes, seed=0):
+def collect_statistics(domain, targets, attributes, seed=0, obs=None):
     """Run the Section 3.2.2 collection loop for a fixed attribute set."""
-    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed)
+    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed, obs=obs)
     store = StatisticsStore(tuple(targets), k=K)
     for target in targets:
         pool = store.pool(target)
@@ -78,12 +80,14 @@ def test_table5a(benchmark):
     targets = ("bmi", "age")
     attributes = ["bmi", "weight", "heavy", "attractive", "works_out", "wrinkles"]
 
+    obs = bench_obs()
     store = benchmark.pedantic(
-        lambda: collect_statistics(domain, targets, attributes),
+        lambda: collect_statistics(domain, targets, attributes, obs=obs),
         iterations=1,
         rounds=1,
     )
     write_report("table5a", statistics_table(domain, targets, attributes, store))
+    write_bench_manifest("table5a", obs, extra={"targets": list(targets)})
     # S_c recovers the difficulties (bmi 80, weight 189, binaries small).
     np.testing.assert_allclose(
         store.s_c("bmi"), domain.difficulty("bmi"), rtol=0.3
@@ -111,12 +115,14 @@ def test_table5b(benchmark):
         "has_eggs",
     ]
 
+    obs = bench_obs()
     store = benchmark.pedantic(
-        lambda: collect_statistics(domain, targets, attributes),
+        lambda: collect_statistics(domain, targets, attributes, obs=obs),
         iterations=1,
         rounds=1,
     )
     write_report("table5b", statistics_table(domain, targets, attributes, store))
+    write_bench_manifest("table5b", obs, extra={"targets": list(targets)})
     # The paper's headline number: S_c[calories] ~ 80707 (a ~284-calorie
     # per-answer standard deviation).
     np.testing.assert_allclose(

@@ -26,6 +26,8 @@ from repro.domains import (
     make_recipes_domain,
 )
 from repro.experiments import ExperimentConfig, ParallelConfig
+from repro.obs import NULL_OBS, Observability
+from repro.obs.manifest import build_manifest, write_manifest
 
 #: Where benches drop their rendered tables.
 OUT_DIR = Path(__file__).parent / "out"
@@ -79,6 +81,37 @@ def bench_parallel() -> ParallelConfig | None:
     if workers > 1:
         return ParallelConfig(max_workers=workers)
     return None
+
+
+def bench_obs() -> Observability:
+    """Observability bundle for the figure benches, from ``BENCH_MANIFEST``.
+
+    ``BENCH_MANIFEST=1`` (any non-empty value) makes each bench collect
+    metrics and phase timings into a fresh registry and drop a
+    ``out/<name>.manifest.json`` next to its ``.txt`` report via
+    :func:`write_bench_manifest`.  Unset keeps the shared no-op bundle:
+    results are byte-identical either way, instrumentation only adds
+    the manifest.  Composes with ``BENCH_WORKERS``: worker processes
+    serialize their registries back for merging (see
+    :func:`repro.experiments.parallel.run_grid`), so counters in the
+    manifest equal a serial run's.
+    """
+    if os.environ.get("BENCH_MANIFEST"):
+        return Observability.collecting()
+    return NULL_OBS
+
+
+def write_bench_manifest(name: str, obs: Observability, plan=None, extra=None):
+    """Write ``out/<name>.manifest.json`` when ``obs`` is recording.
+
+    No-op (returns ``None``) for the disabled bundle, so benches can
+    call it unconditionally after :func:`write_report`.
+    """
+    if not obs.enabled:
+        return None
+    OUT_DIR.mkdir(exist_ok=True)
+    manifest = build_manifest(name, obs, plan=plan, extra=extra)
+    return write_manifest(OUT_DIR / f"{name}.manifest.json", manifest)
 
 
 #: Wall-clock checkpoint: reset by every report, so each footer shows

@@ -18,6 +18,7 @@ All money amounts are US cents, as everywhere in the library.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.core.disq import DisQParams, DisQPlanner
@@ -42,6 +43,8 @@ from repro.experiments import (
     sweep_b_prc,
 )
 from repro.experiments.runner import make_query
+from repro.obs import NULL_OBS, Observability
+from repro.obs.manifest import build_manifest, write_manifest
 
 DOMAINS = {
     "pictures": make_pictures_domain,
@@ -73,36 +76,68 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build(args) -> tuple:
+def _add_manifest(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="collect metrics/phase timings and write a run-manifest JSON here",
+    )
+
+
+def _make_obs(args) -> Observability:
+    """A recording bundle when ``--manifest`` was given, else the no-op."""
+    if getattr(args, "manifest", None):
+        return Observability.collecting()
+    return NULL_OBS
+
+
+def _emit_manifest(args, obs: Observability, label: str, plan=None, extra=None) -> None:
+    """Write the run manifest when ``--manifest PATH`` was given."""
+    if not getattr(args, "manifest", None):
+        return
+    manifest = build_manifest(label, obs, plan=plan, extra=extra)
+    path = write_manifest(args.manifest, manifest)
+    print(f"\nrun manifest written to {path}")
+
+
+def _build(args, obs: Observability | None = None) -> tuple:
     domain = DOMAINS[args.domain](n_objects=args.n_objects, seed=args.seed)
-    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=args.seed)
+    platform = CrowdPlatform(
+        domain, recorder=AnswerRecorder(), seed=args.seed, obs=obs
+    )
     query = make_query(domain, tuple(args.target))
     return domain, platform, query
 
 
 def cmd_plan(args) -> int:
     """Run the offline phase and print the plan."""
-    domain, platform, query = _build(args)
+    obs = _make_obs(args)
+    domain, platform, query = _build(args, obs)
     planner = DisQPlanner(
         platform, query, args.b_obj, args.b_prc, DisQParams(n1=args.n1)
     )
     plan = planner.preprocess()
     print(plan.describe())
+    _emit_manifest(args, obs, f"plan:{args.domain}:{','.join(args.target)}", plan=plan)
     return 0
 
 
 def cmd_evaluate(args) -> int:
     """Plan, then run the online phase and report the query error."""
-    domain, platform, query = _build(args)
+    obs = _make_obs(args)
+    domain, platform, query = _build(args, obs)
     planner = DisQPlanner(
         platform, query, args.b_obj, args.b_prc, DisQParams(n1=args.n1)
     )
     plan = planner.preprocess()
     print(plan.describe())
     object_ids = range(min(args.objects, domain.n_objects()))
-    estimates = OnlineEvaluator(platform.fork(), plan).evaluate(object_ids)
+    with obs.tracer.span("online"):
+        estimates = OnlineEvaluator(platform.fork(), plan).evaluate(object_ids)
     error = query_error(domain, estimates, object_ids, query)
     print(f"\nDisQ weighted query error: {error:.4f}")
+    extra = {"query_error": error}
     if args.compare:
         from repro.core.baselines import NaiveAverage
 
@@ -110,11 +145,17 @@ def cmd_evaluate(args) -> int:
         naive = OnlineEvaluator(platform.fork(), naive_plan).evaluate(object_ids)
         naive_error = query_error(domain, naive, object_ids, query)
         print(f"NaiveAverage query error:  {naive_error:.4f}")
+        extra["naive_query_error"] = naive_error
+    _emit_manifest(
+        args, obs, f"evaluate:{args.domain}:{','.join(args.target)}",
+        plan=plan, extra=extra,
+    )
     return 0
 
 
 def cmd_sweep(args) -> int:
     """Sweep one budget axis across algorithms and print the series."""
+    obs = _make_obs(args)
     domain, _, query = _build(args)
     config = ExperimentConfig(
         n_objects=args.n_objects,
@@ -125,11 +166,33 @@ def cmd_sweep(args) -> int:
     values = [float(v) for v in args.values.split(",")]
     algorithms = args.algorithms.split(",")
     if args.axis == "b_obj":
-        series = sweep_b_obj(algorithms, domain, query, values, args.b_prc, config)
+        series = sweep_b_obj(
+            algorithms, domain, query, values, args.b_prc, config, obs=obs
+        )
         print(render_series(series, "B_obj(c)"))
     else:
-        series = sweep_b_prc(algorithms, domain, query, args.b_obj, values, config)
+        series = sweep_b_prc(
+            algorithms, domain, query, args.b_obj, values, config, obs=obs
+        )
         print(render_series(series, "B_prc(c)"))
+    _emit_manifest(
+        args,
+        obs,
+        f"sweep:{args.axis}:{args.domain}:{','.join(args.target)}",
+        extra={
+            "axis": args.axis,
+            "values": values,
+            "algorithms": algorithms,
+            # inf marks infeasible points; JSON has no inf, so use null.
+            "series": {
+                name: [
+                    [budget, None if math.isinf(error) else error]
+                    for budget, error in points
+                ]
+                for name, points in series.items()
+            },
+        },
+    )
     return 0
 
 
@@ -198,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(plan)
     plan.add_argument("--b-obj", type=float, default=4.0, help="online cents/object")
     plan.add_argument("--b-prc", type=float, default=2000.0, help="offline cents")
+    _add_manifest(plan)
     plan.set_defaults(handler=cmd_plan)
 
     evaluate = commands.add_parser("evaluate", help="plan + online phase + error")
@@ -208,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--compare", action="store_true", help="also run NaiveAverage"
     )
+    _add_manifest(evaluate)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     sweep = commands.add_parser("sweep", help="budget sweep across algorithms")
@@ -222,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", default="DisQ,SimpleDisQ,NaiveAverage",
         help="comma-separated registry names",
     )
+    _add_manifest(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
     coverage = commands.add_parser("coverage", help="gold-standard coverage")

@@ -238,6 +238,7 @@ def greedy_counts(
     costs: np.ndarray,
     budget_cents: float,
     method: str = "fast",
+    metrics=None,
 ) -> np.ndarray:
     """Greedy forward selection of per-attribute question counts.
 
@@ -254,16 +255,28 @@ def greedy_counts(
         ``"fast"`` (incremental evaluators, reference-identical counts,
         default), ``"lazy"`` (CELF queue, approximate) or
         ``"reference"`` (the naive re-solving loop).
+    metrics:
+        Optional duck-typed metrics sink
+        (:class:`repro.obs.metrics.MetricsRegistry`).  One
+        ``allocator.calls`` increment and the total granted question
+        count (``allocator.grants``) are recorded *after* the greedy
+        loop finishes — never inside it, so instrumentation costs
+        nothing per grant and the disabled path is one ``None`` check.
     """
     if method == "fast":
-        return greedy_counts_fast(objectives, costs, budget_cents)
-    if method == "lazy":
-        return greedy_counts_lazy(objectives, costs, budget_cents)
-    if method == "reference":
-        return greedy_counts_reference(objectives, costs, budget_cents)
-    raise ConfigurationError(
-        f"unknown allocator method {method!r}; choose from {ALLOCATOR_METHODS}"
-    )
+        counts = greedy_counts_fast(objectives, costs, budget_cents)
+    elif method == "lazy":
+        counts = greedy_counts_lazy(objectives, costs, budget_cents)
+    elif method == "reference":
+        counts = greedy_counts_reference(objectives, costs, budget_cents)
+    else:
+        raise ConfigurationError(
+            f"unknown allocator method {method!r}; choose from {ALLOCATOR_METHODS}"
+        )
+    if metrics is not None:
+        metrics.inc("allocator.calls")
+        metrics.inc("allocator.grants", int(counts.sum()))
+    return counts
 
 
 def find_budget_distribution(
@@ -272,10 +285,15 @@ def find_budget_distribution(
     costs: np.ndarray,
     budget_cents: float,
     method: str = "fast",
+    metrics=None,
 ) -> BudgetDistribution:
     """Greedy budget distribution as a named :class:`BudgetDistribution`."""
     counts = greedy_counts(
-        objectives, np.asarray(costs, dtype=float), budget_cents, method=method
+        objectives,
+        np.asarray(costs, dtype=float),
+        budget_cents,
+        method=method,
+        metrics=metrics,
     )
     return BudgetDistribution(
         {attribute: int(count) for attribute, count in zip(attributes, counts)}

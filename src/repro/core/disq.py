@@ -256,19 +256,28 @@ class DisQPlanner:
             n_targets=self._n_pools,
             expected_verification_votes=self.params.verifier.expected_votes(True),
         )
-        self._collect_examples()
-        self._measure_query_attributes()
-        if self.params.dismantling:
-            self._dismantle_loop(manager)
-        if self.params.graceful_degradation:
-            self._prune_unmeasured()
-        budget = self._find_budget_distribution()
-        if self.params.graceful_degradation and not budget.counts:
-            budget = self._fallback_budget()
-        formulas = self._learn_regressions(budget)
+        obs = self.platform.obs
+        with obs.tracer.span("preprocess"):
+            with obs.tracer.span("examples"):
+                self._collect_examples()
+            with obs.tracer.span("statistics"):
+                self._measure_query_attributes()
+            if self.params.dismantling:
+                with obs.tracer.span("dismantle"):
+                    self._dismantle_loop(manager)
+            if self.params.graceful_degradation:
+                self._prune_unmeasured()
+            with obs.tracer.span("allocate"):
+                budget = self._find_budget_distribution()
+                if self.params.graceful_degradation and not budget.counts:
+                    budget = self._fallback_budget()
+            with obs.tracer.span("train"):
+                formulas = self._learn_regressions(budget)
         report = self.platform.resilience_report()
         for event in self._degradations:
             report.add_degradation(event)
+        obs.metrics.gauge("plan.attributes", len(self.stats.attributes))
+        obs.metrics.gauge("plan.questions", budget.total_questions)
         return PreprocessingPlan(
             query=self.query,
             attributes=tuple(self.stats.attributes),
@@ -283,6 +292,8 @@ class DisQPlanner:
     def _degrade(self, event: str) -> None:
         """Record one graceful-degradation event for the final report."""
         self._degradations.append(event)
+        self.platform.obs.metrics.inc("plan.degradations")
+        self.platform.obs.tracer.event("plan.degradation", detail=event)
 
     # ------------------------------------------------------------------
     # Phase 1: example pools (GetExamples)
@@ -654,6 +665,7 @@ class DisQPlanner:
             costs,
             self.b_obj_cents,
             method=self.params.allocator,
+            metrics=self.platform.obs.metrics_sink,
         )
 
     def _fallback_budget(self) -> BudgetDistribution:

@@ -54,6 +54,12 @@ class OnlineEvaluator:
         #: (object_id, attribute) pairs whose answers were lost to crowd
         #: faults even after retries; their formula terms dropped out.
         self.fault_skips: list[tuple[int, str]] = []
+        #: (object_id, attribute) pairs where the platform budget died
+        #: mid-object; the attribute (and the rest of its plan's terms)
+        #: dropped out of the estimate.  Mirrors :attr:`fault_skips` so
+        #: budget-truncated estimates are attributable instead of
+        #: silently partial.
+        self.budget_skips: list[tuple[int, str]] = []
 
     def per_object_cost(self) -> float:
         """Online cents spent per object across all plans."""
@@ -68,12 +74,15 @@ class OnlineEvaluator:
         """Estimated target values for one object (the paper's ``o.a^(*)``).
 
         If the platform budget dies mid-object, formulas are applied to
-        whatever answer means were gathered (missing terms drop out).
+        whatever answer means were gathered (missing terms drop out)
+        and the truncation is recorded in :attr:`budget_skips`.
         An attribute whose answers are lost to crowd faults (retries
         exhausted) is skipped the same way — its formula term drops out
         and the loss is noted in :attr:`fault_skips` — so a flaky crowd
         degrades one term at a time instead of killing the whole run.
         """
+        obs = self.platform.obs
+        obs.metrics.inc("online.objects")
         estimates: dict[str, float] = {}
         for plan in self.plans:
             means: dict[str, float] = {}
@@ -83,9 +92,22 @@ class OnlineEvaluator:
                         object_id, attribute, plan.budget[attribute]
                     )
                 except BudgetExhaustedError:
+                    self.budget_skips.append((object_id, attribute))
+                    obs.metrics.inc("online.budget_skips")
+                    obs.tracer.event(
+                        "online.budget_skip",
+                        object_id=object_id,
+                        attribute=attribute,
+                    )
                     break
                 except CrowdFaultError:
                     self.fault_skips.append((object_id, attribute))
+                    obs.metrics.inc("online.fault_skips")
+                    obs.tracer.event(
+                        "online.fault_skip",
+                        object_id=object_id,
+                        attribute=attribute,
+                    )
                     continue
                 if answers:
                     means[attribute] = float(np.mean(answers))

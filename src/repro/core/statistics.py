@@ -133,18 +133,55 @@ class ExamplePool:
         return list(self._answers[attribute][example_index])
 
     def answer_means(self, attribute: str, limit: int | None = None) -> np.ndarray:
-        """Per-example answer means for ``attribute`` (measured prefix)."""
+        """Per-example answer means for ``attribute`` (measured prefix).
+
+        Empty batches (e.g. a fully spam-rejected answer set) are
+        skipped, so the result is NOT index-aligned with
+        :meth:`target_array`; covariance computations must use
+        :meth:`aligned_answer_means` instead.
+        """
         batches = self._answers.get(attribute, [])
         if limit is not None:
             batches = batches[:limit]
         return np.array([sum(batch) / len(batch) for batch in batches if batch])
 
-    def within_variances(self, attribute: str, limit: int | None = None) -> np.ndarray:
-        """Per-example ``VarEst_k`` values for ``attribute``."""
+    def aligned_answer_means(
+        self, attribute: str, limit: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(example_indices, answer_means)`` for non-empty batches.
+
+        The indices say which example each mean belongs to, which is
+        what keeps ``S_o``/``S_a`` covariances aligned when a batch
+        came back empty: pairing the means with a plain prefix of the
+        target values (or of another attribute's means) would shift
+        every example after the hole by one.
+        """
         batches = self._answers.get(attribute, [])
         if limit is not None:
             batches = batches[:limit]
-        return np.array([variance_estimate(batch) for batch in batches])
+        indices = [index for index, batch in enumerate(batches) if batch]
+        means = [
+            sum(batches[index]) / len(batches[index]) for index in indices
+        ]
+        return np.asarray(indices, dtype=int), np.asarray(means, dtype=float)
+
+    def n_answered(self, attribute: str, limit: int | None = None) -> int:
+        """Number of examples with at least one answer for ``attribute``."""
+        batches = self._answers.get(attribute, [])
+        if limit is not None:
+            batches = batches[:limit]
+        return sum(1 for batch in batches if batch)
+
+    def within_variances(self, attribute: str, limit: int | None = None) -> np.ndarray:
+        """Per-example ``VarEst_k`` values for ``attribute``.
+
+        Empty batches are skipped: they carry no information, and a
+        0.0 placeholder would drag the pooled ``S_c`` estimate down.
+        """
+        batches = self._answers.get(attribute, [])
+        if limit is not None:
+            batches = batches[:limit]
+        return np.array([variance_estimate(batch) for batch in batches if batch])
 
     def target_array(self, limit: int | None = None) -> np.ndarray:
         """True target values (optionally the first ``limit`` examples)."""
@@ -348,11 +385,13 @@ class StatisticsStore:
 
     def _compute_s_o_measured(self, target: str, attribute: str) -> float | None:
         pool = self.pool(target)
-        n = pool.n_measured(attribute)
-        if n < 2:
+        # Align by example index: an empty batch (fully spam-rejected)
+        # must drop *its own* example's target value, not shift the
+        # pairing of every later example.
+        indices, means = pool.aligned_answer_means(attribute)
+        if indices.size < 2:
             return None
-        means = pool.answer_means(attribute)
-        target_values = pool.target_array(limit=n)
+        target_values = pool.target_array()[indices]
         return float(np.cov(means, target_values, ddof=1)[0, 1])
 
     def s_a_entry(self, attribute_a: str, attribute_b: str) -> float | None:
@@ -382,10 +421,19 @@ class StatisticsStore:
             n = min(pool.n_measured(attribute_a), pool.n_measured(attribute_b))
             if n < 2:
                 continue
-            means_a = pool.answer_means(attribute_a, limit=n)
-            means_b = pool.answer_means(attribute_b, limit=n)
-            covariances.append(float(np.cov(means_a, means_b, ddof=1)[0, 1]))
-            weights.append(n)
+            indices_a, means_a = pool.aligned_answer_means(attribute_a, limit=n)
+            indices_b, means_b = pool.aligned_answer_means(attribute_b, limit=n)
+            # Covary only the examples both attributes actually have
+            # answers for, paired by example index.
+            _, keep_a, keep_b = np.intersect1d(
+                indices_a, indices_b, return_indices=True
+            )
+            if keep_a.size < 2:
+                continue
+            covariances.append(
+                float(np.cov(means_a[keep_a], means_b[keep_b], ddof=1)[0, 1])
+            )
+            weights.append(int(keep_a.size))
         if not covariances:
             return None
         return float(np.average(covariances, weights=weights))
@@ -403,7 +451,7 @@ class StatisticsStore:
     def _s_o_standard_error(self, target: str, attribute: str) -> float:
         """Approximate standard error of the measured ``S_o[t, a]``."""
         pool = self.pool(target)
-        n = pool.n_measured(attribute)
+        n = pool.n_answered(attribute)
         if n < 2:
             return 0.0
         mean_var = self._denoised_variance(attribute) + self.s_c(attribute) / self.k

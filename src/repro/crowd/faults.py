@@ -225,6 +225,9 @@ class FaultInjector:
         self.profile = profile
         self._rng = np.random.default_rng(seed)
         self.counts: dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+        #: Optional duck-typed metrics sink; non-OK draws increment
+        #: ``crowd.faults.<kind>`` (same counts as :attr:`counts`).
+        self.metrics: object | None = None
 
     @property
     def enabled(self) -> bool:
@@ -259,6 +262,8 @@ class FaultInjector:
         else:
             kind = FaultKind.OK
         self.counts[kind] += 1
+        if self.metrics is not None and kind is not FaultKind.OK:
+            self.metrics.inc(f"crowd.faults.{kind.value}")
         return FaultOutcome(kind=kind, latency=latency)
 
     def corrupt_value(self, answer_range: tuple[float, float]) -> float:

@@ -58,6 +58,7 @@ from repro.errors import (
     MalformedAnswerError,
     UnknownAttributeError,
 )
+from repro.obs import NULL_OBS, Observability
 
 #: Validation margin for value answers, in answer-range spans.  Honest
 #: noise can stray a little outside the plausible range; injected
@@ -108,6 +109,13 @@ class CrowdPlatform:
     clock:
         Simulated clock for latency/backoff/cooldown accounting; a
         fresh clock is created when faults are enabled.
+    obs:
+        Observability bundle (tracer + metrics).  Defaults to the
+        shared no-op bundle: nothing is recorded and the code path is
+        byte-identical to an uninstrumented platform.  When recording,
+        the ledger, fault injector and circuit breaker all mirror
+        their events into the same registry — see
+        :mod:`repro.obs.manifest` for why that matters.
     """
 
     def __init__(
@@ -124,6 +132,7 @@ class CrowdPlatform:
         retry: RetryPolicy | None = None,
         breaker: WorkerCircuitBreaker | None = None,
         clock: SimulatedClock | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.domain = domain
         self.pool = pool if pool is not None else WorkerPool(seed=seed)
@@ -134,7 +143,8 @@ class CrowdPlatform:
         self.normalizer = (
             normalizer if normalizer is not None else AttributeNormalizer(domain)
         )
-        self.ledger = CostLedger()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.ledger = CostLedger(metrics=self.obs.metrics_sink)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
 
@@ -161,9 +171,21 @@ class CrowdPlatform:
         else:
             self.clock = clock
             self.breaker = breaker
-        #: Scratch map answer -> worker id for the current value batch,
-        #: used to attribute spam-filter rejections to workers.
-        self._batch_workers: dict[float, int] = {}
+        sink = self.obs.metrics_sink
+        if sink is not None:
+            if injector is not None:
+                injector.metrics = sink
+            if self.breaker is not None and getattr(self.breaker, "metrics", None) is None:
+                self.breaker.metrics = sink
+        #: Worker ids of the *freshly generated* answers of the current
+        #: value batch, in generation (= batch-position) order.  Batch
+        #: position ``i`` was produced by ``_batch_worker_ids[i -
+        #: _batch_fresh_base]``; replayed answers (``i`` below the
+        #: base) have no live worker behind them.  Keying by position —
+        #: not by answer value — keeps spam-rejection attribution
+        #: correct when two workers give the same value.
+        self._batch_worker_ids: list[int] = []
+        self._batch_fresh_base = 0
 
         # Surface form -> canonical resolution for ground-truth lookups.
         # This is intentionally independent of the (possibly imperfect)
@@ -293,7 +315,7 @@ class CrowdPlatform:
             corrupt=lambda: self.faults.corrupt_value((low, high)),
             validate=lambda a: self._valid_value(a, low, high),
         )
-        self._batch_workers[float(answer)] = worker_id
+        self._batch_worker_ids.append(worker_id)
         return float(answer)
 
     # ------------------------------------------------------------------
@@ -319,7 +341,14 @@ class CrowdPlatform:
                 self.domain, object_id, canonical
             )
         else:
-            self._batch_workers = {}
+            # Fresh answers start where the recorder's tape currently
+            # ends; batch positions before that replay recorded answers
+            # and have no live worker behind them.
+            self._batch_worker_ids = []
+            self._batch_fresh_base = max(
+                self.recorder.recorded_value_count(object_id, attribute) - start,
+                0,
+            )
             generate = lambda: self._resilient_value(  # noqa: E731
                 object_id, canonical
             )
@@ -328,15 +357,26 @@ class CrowdPlatform:
         )
         self._value_cursor[key] = start + n
         self._charge("value", cost, n)
+        self.obs.tracer.event(
+            "crowd.ask_value", object_id=object_id, attribute=attribute, n=n
+        )
         if self.spam_filter is not None:
             kept = self.spam_filter.filter(answers)
-            if self.faults is not None and self._batch_workers:
+            dropped = len(answers) - len(kept)
+            if dropped:
+                self.obs.metrics.inc("crowd.spam.rejected", dropped)
+            if self.faults is not None and self._batch_worker_ids:
                 # Spam rejections count as faults for the workers that
-                # produced them (quarantine input).
+                # produced them (quarantine input).  Attribution is by
+                # batch *position* — aligned with ``rejected_indices``
+                # — so two workers giving the same value can never be
+                # confused; replayed answers are left unattributed.
                 for index in rejected_indices(list(answers), list(kept)):
-                    worker_id = self._batch_workers.get(float(answers[index]))
-                    if worker_id is not None:
-                        self.breaker.record_fault(worker_id, self.clock.now)
+                    position = index - self._batch_fresh_base
+                    if 0 <= position < len(self._batch_worker_ids):
+                        self.breaker.record_fault(
+                            self._batch_worker_ids[position], self.clock.now
+                        )
             answers = kept
         return list(answers)
 
@@ -381,6 +421,7 @@ class CrowdPlatform:
         answers = self.recorder.dismantle_answers(attribute, start, 1, generate)
         self._dismantle_cursor[attribute] = start + 1
         self._charge("dismantle", self.prices.dismantle, 1)
+        self.obs.tracer.event("crowd.ask_dismantle", attribute=attribute)
         answer = answers[0]
         if self.normalizer is not None:
             answer = self.normalizer.normalize(answer)
@@ -411,6 +452,9 @@ class CrowdPlatform:
         )
         self._vote_cursor[key] = start + 1
         self._charge("verification", self.prices.verification, 1)
+        self.obs.tracer.event(
+            "crowd.ask_verification", attribute=attribute, candidate=candidate
+        )
         return votes[0]
 
     def verify_candidate(
@@ -461,6 +505,7 @@ class CrowdPlatform:
         records = self.recorder.examples(targets, start, 1, generate)
         self._example_cursor[targets] = start + 1
         self._charge("example", self.prices.example, 1)
+        self.obs.tracer.event("crowd.ask_example", targets="|".join(targets))
         object_id, values = records[0]
         # Re-key the values under the algorithm-visible target names.
         visible = dict(zip(targets, (values[c] for c in canonical_targets)))
@@ -503,7 +548,9 @@ class CrowdPlatform:
         crowd data.  It inherits the parent's seed unless ``seed`` is
         given, and the parent's fault profile and retry policy (with a
         fresh injector, breaker and clock — quarantine and fault
-        counters are per-run state).
+        counters are per-run state).  The observability bundle is
+        shared, so a fork's spending and faults accumulate into the
+        same registry as the parent's.
         """
         return CrowdPlatform(
             domain=self.domain,
@@ -516,4 +563,5 @@ class CrowdPlatform:
             seed=self._seed if seed is None else seed,
             faults=self.faults.profile if self.faults is not None else None,
             retry=self.retry,
+            obs=self.obs,
         )

@@ -104,6 +104,13 @@ class CostLedger:
     abandons_by_category: dict[str, int] = field(
         default_factory=lambda: {category: 0 for category in CATEGORIES}
     )
+    #: Optional duck-typed observability sink (a
+    #: :class:`repro.obs.metrics.MetricsRegistry`).  Every entry the
+    #: ledger records is mirrored into ``crowd.*`` counters, which is
+    #: what makes run manifests and the ledger agree by construction.
+    #: ``None`` (the default) keeps the uninstrumented path to a single
+    #: identity check.
+    metrics: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_spent(self) -> float:
@@ -123,6 +130,9 @@ class CostLedger:
             raise ConfigurationError("ledger entries must be non-negative")
         self.spent_by_category[category] += cost
         self.questions_by_category[category] += count
+        if self.metrics is not None:
+            self.metrics.inc(f"crowd.spend.{category}", cost)
+            self.metrics.inc(f"crowd.questions.{category}", count)
 
     @property
     def total_retries(self) -> int:
@@ -141,6 +151,8 @@ class CostLedger:
         if count < 0:
             raise ConfigurationError("ledger entries must be non-negative")
         self.retries_by_category[category] += count
+        if self.metrics is not None:
+            self.metrics.inc(f"crowd.retries.{category}", count)
 
     def record_abandon(self, category: str, count: int = 1) -> None:
         """Record ``count`` abandoned (unpaid) assignments of ``category``."""
@@ -149,6 +161,8 @@ class CostLedger:
         if count < 0:
             raise ConfigurationError("ledger entries must be non-negative")
         self.abandons_by_category[category] += count
+        if self.metrics is not None:
+            self.metrics.inc(f"crowd.abandons.{category}", count)
 
     def snapshot(self) -> dict[str, float]:
         """Copy of the per-category spend (useful for before/after diffs)."""

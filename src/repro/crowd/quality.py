@@ -268,6 +268,9 @@ class WorkerCircuitBreaker:
         self.cooldown = cooldown
         self.probation_successes = probation_successes
         self._records: dict[int, _WorkerRecord] = {}
+        #: Optional duck-typed metrics sink; every OPEN transition
+        #: increments ``crowd.quarantine.trips``.
+        self.metrics: object | None = None
 
     # -- state inspection ------------------------------------------------
 
@@ -355,3 +358,5 @@ class WorkerCircuitBreaker:
         record.opened_at = now
         record.probation_successes = 0
         record.times_quarantined += 1
+        if self.metrics is not None:
+            self.metrics.inc("crowd.quarantine.trips")

@@ -34,6 +34,7 @@ from repro.crowd.recording import AnswerRecorder
 from repro.domains.base import Domain
 from repro.errors import PlanningError
 from repro.experiments.config import ExperimentConfig
+from repro.obs import NULL_OBS, Observability
 
 #: One sweep grid point: ``(b_obj_cents, b_prc_cents)``.
 GridPoint = tuple[float, float]
@@ -62,20 +63,31 @@ class ParallelConfig:
 
 def _repetition_grid(
     args: tuple[
-        Sequence[str], Domain, Query, Sequence[GridPoint], ExperimentConfig, int
+        Sequence[str],
+        Domain,
+        Query,
+        Sequence[GridPoint],
+        ExperimentConfig,
+        int,
+        bool,
     ],
-) -> list[list[float | None]]:
+) -> tuple[list[list[float | None]], dict | None]:
     """Worker: one repetition's full grid, serially, on a fresh recorder.
 
-    Returns ``errors[point_index][algorithm_index]`` with ``None`` where
-    preprocessing was infeasible (the serial path's skipped runs).
-    Module-level so it pickles for the process pool.
+    Returns ``(errors, metrics_payload)`` where
+    ``errors[point_index][algorithm_index]`` is ``None`` where
+    preprocessing was infeasible (the serial path's skipped runs) and
+    ``metrics_payload`` is the repetition's serialized
+    :class:`~repro.obs.metrics.MetricsRegistry` when instrumentation
+    was requested (``None`` otherwise).  Module-level so it pickles for
+    the process pool.
     """
     # Imported lazily so worker processes pay the import once, and to
     # keep this module import-light for the executor bootstrap.
     from repro.experiments.runner import run_algorithm
 
-    names, domain, query, points, config, repetition = args
+    names, domain, query, points, config, repetition, instrument = args
+    obs = Observability.collecting() if instrument else NULL_OBS
     recorder = AnswerRecorder()
     errors: list[list[float | None]] = []
     for b_obj, b_prc in points:
@@ -91,12 +103,15 @@ def _repetition_grid(
                     config,
                     seed=config.base_seed + repetition,
                     recorder=recorder,
+                    obs=obs,
                 )
                 row.append(result.error)
+                obs.metrics.inc("runs.completed")
             except PlanningError:
                 row.append(None)
+                obs.metrics.inc("runs.infeasible")
         errors.append(row)
-    return errors
+    return errors, (obs.metrics.to_dict() if instrument else None)
 
 
 def _merge_errors(per_repetition: list[float | None]) -> float:
@@ -118,6 +133,7 @@ def run_grid(
     points: Sequence[GridPoint],
     config: ExperimentConfig,
     parallel: ParallelConfig | None = None,
+    obs: Observability | None = None,
 ) -> dict[tuple[int, str], float]:
     """Mean error per (point index, algorithm) over all repetitions.
 
@@ -125,17 +141,39 @@ def run_grid(
     ``parallel`` is ``None`` or resolves to one worker); each keeps the
     paper's shared-recorder replay semantics internally, so the merged
     result is bit-identical to the serial nested loops.
+
+    With a recording ``obs``, each worker collects its repetition's
+    counters into a fresh registry and ships it back for merging (in
+    repetition order).  Error results are unaffected; integer counters
+    equal what a serial instrumented sweep records, while float spend
+    totals may differ from serial in the last ulp (different addition
+    order).  Worker-side tracer spans are not shipped back — phase
+    timing across processes is not meaningfully mergeable.
     """
+    instrument = obs is not None and obs.metrics.enabled
     tasks = [
-        (tuple(algorithms), domain, query, tuple(points), config, repetition)
+        (
+            tuple(algorithms),
+            domain,
+            query,
+            tuple(points),
+            config,
+            repetition,
+            instrument,
+        )
         for repetition in range(config.repetitions)
     ]
     workers = (parallel or ParallelConfig(max_workers=1)).resolve(len(tasks))
     if workers <= 1:
-        per_repetition = [_repetition_grid(task) for task in tasks]
+        outcomes = [_repetition_grid(task) for task in tasks]
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
-            per_repetition = list(executor.map(_repetition_grid, tasks))
+            outcomes = list(executor.map(_repetition_grid, tasks))
+    per_repetition = [errors for errors, _ in outcomes]
+    if instrument:
+        for _, payload in outcomes:  # repetition order, deterministic
+            if payload is not None:
+                obs.metrics.merge(payload)
     merged: dict[tuple[int, str], float] = {}
     for point_index in range(len(points)):
         for algorithm_index, name in enumerate(algorithms):
@@ -146,14 +184,19 @@ def run_grid(
 
 
 def _repetition_single(
-    args: tuple[str, Domain, Query, float, float, ExperimentConfig, int],
-) -> float | None:
-    """Worker: one repetition of one algorithm on a fresh recorder."""
+    args: tuple[str, Domain, Query, float, float, ExperimentConfig, int, bool],
+) -> tuple[float | None, dict | None]:
+    """Worker: one repetition of one algorithm on a fresh recorder.
+
+    Returns ``(error, metrics_payload)``; the payload mirrors
+    :func:`_repetition_grid`.
+    """
     from repro.experiments.runner import run_algorithm
 
-    name, domain, query, b_obj, b_prc, config, repetition = args
+    name, domain, query, b_obj, b_prc, config, repetition, instrument = args
+    obs = Observability.collecting() if instrument else NULL_OBS
     try:
-        return run_algorithm(
+        error = run_algorithm(
             name,
             domain,
             query,
@@ -162,9 +205,13 @@ def _repetition_single(
             config,
             seed=config.base_seed + repetition,
             recorder=None,
+            obs=obs,
         ).error
+        obs.metrics.inc("runs.completed")
     except PlanningError:
-        return None
+        error = None
+        obs.metrics.inc("runs.infeasible")
+    return error, (obs.metrics.to_dict() if instrument else None)
 
 
 def run_averaged_parallel(
@@ -175,21 +222,37 @@ def run_averaged_parallel(
     b_prc_cents: float,
     config: ExperimentConfig,
     parallel: ParallelConfig,
+    obs: Observability | None = None,
 ) -> float:
     """Parallel :func:`~repro.experiments.runner.run_averaged`.
 
     Only valid for independent repetitions (no caller-shared
     recorders); each repetition gets a fresh recorder exactly as the
-    serial path does when no recorders are passed.
+    serial path does when no recorders are passed.  Worker metrics are
+    merged back into ``obs`` in repetition order (see :func:`run_grid`).
     """
+    instrument = obs is not None and obs.metrics.enabled
     tasks = [
-        (name, domain, query, b_obj_cents, b_prc_cents, config, repetition)
+        (
+            name,
+            domain,
+            query,
+            b_obj_cents,
+            b_prc_cents,
+            config,
+            repetition,
+            instrument,
+        )
         for repetition in range(config.repetitions)
     ]
     workers = parallel.resolve(len(tasks))
     if workers <= 1:
-        results = [_repetition_single(task) for task in tasks]
+        outcomes = [_repetition_single(task) for task in tasks]
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
-            results = list(executor.map(_repetition_single, tasks))
-    return _merge_errors(results)
+            outcomes = list(executor.map(_repetition_single, tasks))
+    if instrument:
+        for _, payload in outcomes:
+            if payload is not None:
+                obs.metrics.merge(payload)
+    return _merge_errors([error for error, _ in outcomes])

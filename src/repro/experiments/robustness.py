@@ -36,6 +36,7 @@ from repro.crowd.recording import AnswerRecorder
 from repro.domains.gaussian import GaussianDomain
 from repro.errors import CrowdFaultError, PlanningError
 from repro.experiments.config import ExperimentConfig, algorithm
+from repro.obs import Observability
 
 import numpy as np
 
@@ -99,6 +100,7 @@ def with_degraded_taxonomy(
     b_prc_cents: float,
     config: ExperimentConfig,
     extra_irrelevant: float = 0.3,
+    obs: Observability | None = None,
 ) -> dict[str, float]:
     """*Attributes quality*: more irrelevant dismantling answers."""
     degraded = domain.with_taxonomy(
@@ -106,7 +108,7 @@ def with_degraded_taxonomy(
     )
 
     def make_platform(seed: int) -> CrowdPlatform:
-        return CrowdPlatform(degraded, recorder=AnswerRecorder(), seed=seed)
+        return CrowdPlatform(degraded, recorder=AnswerRecorder(), seed=seed, obs=obs)
 
     return {
         name: _averaged(
@@ -125,6 +127,7 @@ def with_normalization_mode(
     config: ExperimentConfig,
     mode: NormalizationMode = NormalizationMode.NONE,
     failure_rate: float = 0.3,
+    obs: Observability | None = None,
 ) -> dict[str, float]:
     """*Normalization mechanism*: imperfect or absent synonym merging."""
 
@@ -136,6 +139,7 @@ def with_normalization_mode(
                 domain, mode=mode, failure_rate=failure_rate, seed=seed
             ),
             seed=seed,
+            obs=obs,
         )
 
     return {
@@ -153,11 +157,12 @@ def with_rho_constant(
     b_prc_cents: float,
     config: ExperimentConfig,
     rho_values: Sequence[float] = (0.3, 0.5, 0.7),
+    obs: Observability | None = None,
 ) -> dict[float, float]:
     """*Answer's correlation parameter*: vary the expression-5 prior."""
 
     def make_platform(seed: int) -> CrowdPlatform:
-        return CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed)
+        return CrowdPlatform(domain, recorder=AnswerRecorder(), seed=seed, obs=obs)
 
     results = {}
     for rho in rho_values:
@@ -179,6 +184,7 @@ def with_fault_profile(
     config: ExperimentConfig,
     fault_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
     latency_mean: float = 2.0,
+    obs: Observability | None = None,
 ) -> dict[float, dict[str, float]]:
     """*Crowd faults*: query error per algorithm as faults intensify.
 
@@ -204,7 +210,8 @@ def with_fault_profile(
 
         def make_platform(seed: int) -> CrowdPlatform:
             return CrowdPlatform(
-                domain, recorder=AnswerRecorder(), seed=seed, faults=profile
+                domain, recorder=AnswerRecorder(), seed=seed, faults=profile,
+                obs=obs,
             )
 
         results[rate] = {
@@ -230,6 +237,7 @@ def with_price_scale(
     b_prc_cents: float,
     config: ExperimentConfig,
     scale: float = 2.0,
+    obs: Observability | None = None,
 ) -> dict[str, float]:
     """*Crowd-task payment*: scale all prices (budgets scale with them,
     so trends — not absolute spend — are what should persist)."""
@@ -238,7 +246,7 @@ def with_price_scale(
 
     def make_platform(seed: int) -> CrowdPlatform:
         return CrowdPlatform(
-            domain, recorder=AnswerRecorder(), prices=prices, seed=seed
+            domain, recorder=AnswerRecorder(), prices=prices, seed=seed, obs=obs
         )
 
     return {

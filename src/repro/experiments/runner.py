@@ -26,6 +26,7 @@ from repro.crowd.recording import AnswerRecorder
 from repro.domains.base import Domain
 from repro.errors import PlanningError
 from repro.experiments.config import ExperimentConfig, algorithm
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -64,11 +65,18 @@ def run_algorithm(
     config: ExperimentConfig,
     seed: int,
     recorder: AnswerRecorder | None = None,
+    obs: Observability | None = None,
 ) -> RunResult:
-    """Run one algorithm once and measure its online query error."""
+    """Run one algorithm once and measure its online query error.
+
+    ``obs`` instruments the run (phase spans from the planner, crowd
+    counters from the platform, online-phase skips); the default no-op
+    bundle leaves the run byte-identical to an uninstrumented one.
+    """
+    obs = obs if obs is not None else NULL_OBS
     platform = CrowdPlatform(
         domain, recorder=recorder if recorder is not None else AnswerRecorder(),
-        seed=seed,
+        seed=seed, obs=obs,
     )
     plans = algorithm(name)(
         platform, query, b_obj_cents, b_prc_cents, config.make_params()
@@ -77,7 +85,8 @@ def run_algorithm(
         plans = [plans]
     evaluator = OnlineEvaluator(platform.fork(), plans)
     object_ids = range(min(config.eval_objects, domain.n_objects()))
-    estimates = evaluator.evaluate(object_ids)
+    with obs.tracer.span("online", algorithm=name):
+        estimates = evaluator.evaluate(object_ids)
     error = query_error(domain, estimates, object_ids, query)
     return RunResult(
         error=error,
@@ -96,6 +105,7 @@ def run_averaged(
     config: ExperimentConfig,
     recorders: list[AnswerRecorder] | None = None,
     parallel: "ParallelConfig | None" = None,
+    obs: Observability | None = None,
 ) -> float:
     """Mean query error over ``config.repetitions`` independent runs.
 
@@ -119,8 +129,10 @@ def run_averaged(
         from repro.experiments.parallel import run_averaged_parallel
 
         return run_averaged_parallel(
-            name, domain, query, b_obj_cents, b_prc_cents, config, parallel
+            name, domain, query, b_obj_cents, b_prc_cents, config, parallel,
+            obs=obs,
         )
+    obs = obs if obs is not None else NULL_OBS
     errors: list[float] = []
     for repetition in range(config.repetitions):
         recorder = recorders[repetition] if recorders else None
@@ -134,9 +146,12 @@ def run_averaged(
                 config,
                 seed=config.base_seed + repetition,
                 recorder=recorder,
+                obs=obs,
             )
         except PlanningError:
+            obs.metrics.inc("runs.infeasible")
             continue
+        obs.metrics.inc("runs.completed")
         errors.append(result.error)
     if not errors:
         return float("inf")

@@ -31,6 +31,7 @@ from repro.experiments.runner import run_averaged
 
 if TYPE_CHECKING:
     from repro.experiments.parallel import ParallelConfig
+    from repro.obs import Observability
 
 #: A sweep result: algorithm -> list of (budget, mean error) points.
 SweepSeries = dict[str, list[tuple[float, float]]]
@@ -54,11 +55,14 @@ def _parallel_series(
     axis_values: Sequence[float],
     config: ExperimentConfig,
     parallel: "ParallelConfig",
+    obs: "Observability | None" = None,
 ) -> SweepSeries:
     """Run the grid through the parallel engine and shape the series."""
     from repro.experiments.parallel import run_grid
 
-    merged = run_grid(algorithms, domain, query, points, config, parallel)
+    merged = run_grid(
+        algorithms, domain, query, points, config, parallel, obs=obs
+    )
     return {
         name: [
             (axis_value, merged[(index, name)])
@@ -76,19 +80,22 @@ def sweep_b_prc(
     b_prc_values: Sequence[float],
     config: ExperimentConfig,
     parallel: "ParallelConfig | None" = None,
+    obs: "Observability | None" = None,
 ) -> SweepSeries:
     """Error versus preprocessing budget at fixed ``B_obj``."""
     if parallel is not None:
         points = [(b_obj_cents, b_prc) for b_prc in b_prc_values]
         return _parallel_series(
-            algorithms, domain, query, points, b_prc_values, config, parallel
+            algorithms, domain, query, points, b_prc_values, config, parallel,
+            obs=obs,
         )
     recorders = _shared_recorders(config)
     series: SweepSeries = {name: [] for name in algorithms}
     for b_prc in b_prc_values:
         for name in algorithms:
             error = run_averaged(
-                name, domain, query, b_obj_cents, b_prc, config, recorders
+                name, domain, query, b_obj_cents, b_prc, config, recorders,
+                obs=obs,
             )
             series[name].append((b_prc, error))
     return series
@@ -102,19 +109,22 @@ def sweep_b_obj(
     b_prc_cents: float,
     config: ExperimentConfig,
     parallel: "ParallelConfig | None" = None,
+    obs: "Observability | None" = None,
 ) -> SweepSeries:
     """Error versus per-object budget at fixed ``B_prc``."""
     if parallel is not None:
         points = [(b_obj, b_prc_cents) for b_obj in b_obj_values]
         return _parallel_series(
-            algorithms, domain, query, points, b_obj_values, config, parallel
+            algorithms, domain, query, points, b_obj_values, config, parallel,
+            obs=obs,
         )
     recorders = _shared_recorders(config)
     series: SweepSeries = {name: [] for name in algorithms}
     for b_obj in b_obj_values:
         for name in algorithms:
             error = run_averaged(
-                name, domain, query, b_obj, b_prc_cents, config, recorders
+                name, domain, query, b_obj, b_prc_cents, config, recorders,
+                obs=obs,
             )
             series[name].append((b_obj, error))
     return series

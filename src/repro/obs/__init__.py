@@ -1,0 +1,78 @@
+"""Observability: tracing, metrics, and run manifests.
+
+The pipeline's instrumentation rides on one small value object,
+:class:`Observability`, bundling a :class:`~repro.obs.tracer.Tracer`
+(nested phase spans + point events) and a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters/gauges).  Every
+instrumented component — :class:`~repro.crowd.platform.CrowdPlatform`,
+:class:`~repro.core.disq.DisQPlanner`,
+:class:`~repro.core.online.OnlineEvaluator`, the experiment engine —
+takes an optional ``obs`` and defaults to :data:`NULL_OBS`, whose
+tracer and metrics are shared stateless no-ops: a run without
+observability takes the identical code path it always did (enabling or
+disabling observability never touches an RNG, an answer stream, or a
+numeric result) and pays at most a few no-op calls per *batch*, never
+per inner-loop step.
+
+:mod:`repro.obs.manifest` turns a finished run's ``Observability`` into
+a machine-readable **run manifest** (per-phase wall clock, spend
+breakdown, resilience counts, plan summary) validated against a
+self-contained schema — see ``python -m repro … --manifest PATH`` and
+the ``BENCH_MANIFEST`` switch in :mod:`benchmarks.common`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+
+@dataclass(frozen=True)
+class Observability:
+    """One run's tracer + metrics pair (possibly the shared no-ops)."""
+
+    tracer: "Tracer | NullTracer"
+    metrics: "MetricsRegistry | NullMetrics"
+
+    @property
+    def enabled(self) -> bool:
+        """Whether anything is actually being recorded."""
+        return self.tracer.enabled or self.metrics.enabled
+
+    @property
+    def metrics_sink(self) -> "MetricsRegistry | None":
+        """The registry when recording, else ``None``.
+
+        Hot paths (the cost ledger, the circuit breaker, the allocator)
+        hold this instead of the bundle so their disabled cost is one
+        ``is None`` check.
+        """
+        return self.metrics if self.metrics.enabled else None
+
+    @classmethod
+    def collecting(cls) -> "Observability":
+        """A fresh recording bundle (new tracer, new registry)."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op bundle."""
+        return NULL_OBS
+
+
+#: The default for every instrumented component: records nothing.
+NULL_OBS = Observability(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+]

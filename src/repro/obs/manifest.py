@@ -1,0 +1,324 @@
+"""Machine-readable run manifests for crowd-pipeline runs.
+
+A manifest is one JSON document summarising what a run did: per-phase
+wall clock (from the :class:`~repro.obs.tracer.Tracer`), spend and
+question counts by category, resilience counts (retries, abandons,
+faults, spam rejections, quarantine trips), allocator statistics, an
+optional plan summary, and the raw counter/gauge dump — everything a
+post-hoc "why did this run cost what it cost" question needs.
+
+Single-source guarantee: the spend and resilience sections are derived
+*exclusively* from the run's :class:`~repro.obs.metrics.MetricsRegistry`
+(:func:`spend_from_metrics` / :func:`resilience_from_metrics`), and
+those counters are incremented at the very same call sites that feed
+:class:`~repro.crowd.pricing.CostLedger` and
+:meth:`~repro.crowd.platform.CrowdPlatform.resilience_report` — the
+ledger records forward to the registry, the fault injector counts into
+it, the circuit breaker trips into it.  The manifest therefore cannot
+disagree with the ledger or the resilience report (asserted by
+``tests/integration/test_observability.py``).
+
+Validation uses :func:`validate_manifest`, a deliberately small
+JSON-Schema-subset checker (``type`` / ``properties`` / ``required`` /
+``additionalProperties`` / ``items`` / ``enum``) so no external schema
+library is needed; :data:`MANIFEST_SCHEMA` is the schema CI validates
+uploaded manifests against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Bumped whenever a field is added, renamed, or re-typed.
+SCHEMA_VERSION = 1
+
+_NUMBER_MAP = {"type": "object", "additionalProperties": {"type": "number"}}
+_INTEGER_MAP = {"type": "object", "additionalProperties": {"type": "integer"}}
+
+#: JSON-Schema (subset) describing a run manifest document.
+MANIFEST_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema_version",
+        "label",
+        "created_at",
+        "phases",
+        "spend",
+        "resilience",
+        "allocator",
+        "counters",
+        "gauges",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "label": {"type": "string"},
+        "created_at": {"type": "number"},
+        "phases": _NUMBER_MAP,
+        "spend": {
+            "type": "object",
+            "required": [
+                "total_cents",
+                "by_category",
+                "questions_by_category",
+            ],
+            "properties": {
+                "total_cents": {"type": "number"},
+                "by_category": _NUMBER_MAP,
+                "questions_by_category": _INTEGER_MAP,
+            },
+        },
+        "resilience": {
+            "type": "object",
+            "required": [
+                "retries_by_category",
+                "abandons_by_category",
+                "timeouts",
+                "abandons",
+                "garbage_answers",
+                "spam_rejected",
+                "quarantine_trips",
+                "degradations",
+            ],
+            "properties": {
+                "retries_by_category": _INTEGER_MAP,
+                "abandons_by_category": _INTEGER_MAP,
+                "timeouts": {"type": "integer"},
+                "abandons": {"type": "integer"},
+                "garbage_answers": {"type": "integer"},
+                "spam_rejected": {"type": "integer"},
+                "quarantine_trips": {"type": "integer"},
+                "degradations": {"type": "integer"},
+            },
+        },
+        "allocator": {
+            "type": "object",
+            "required": ["calls", "grants"],
+            "properties": {
+                "calls": {"type": "integer"},
+                "grants": {"type": "integer"},
+            },
+        },
+        "online": {
+            "type": "object",
+            "properties": {
+                "objects": {"type": "integer"},
+                "budget_skips": {"type": "integer"},
+                "fault_skips": {"type": "integer"},
+            },
+        },
+        "plan": {
+            "type": "object",
+            "properties": {
+                "targets": {"type": "array", "items": {"type": "string"}},
+                "attributes": {"type": "array", "items": {"type": "string"}},
+                "budget_counts": _INTEGER_MAP,
+                "online_questions_per_object": {"type": "integer"},
+                "dismantle_rounds": {"type": "integer"},
+                "preprocessing_cost_cents": {"type": "number"},
+                "degradations": {"type": "integer"},
+            },
+        },
+        "counters": _NUMBER_MAP,
+        "gauges": _NUMBER_MAP,
+        "extra": {"type": "object"},
+    },
+}
+
+
+def _int_map(values: dict) -> dict:
+    return {str(key): int(value) for key, value in values.items()}
+
+
+def spend_from_metrics(metrics) -> dict:
+    """The manifest ``spend`` section, from ``crowd.*`` counters.
+
+    By construction (the ledger forwards to the registry) these equal
+    ``CostLedger.spent_by_category`` / ``questions_by_category``.
+    """
+    by_category = {
+        str(key): float(value)
+        for key, value in metrics.by_suffix("crowd.spend").items()
+    }
+    return {
+        "total_cents": float(sum(by_category.values())),
+        "by_category": by_category,
+        "questions_by_category": _int_map(metrics.by_suffix("crowd.questions")),
+    }
+
+
+def resilience_from_metrics(metrics) -> dict:
+    """The manifest ``resilience`` section, from ``crowd.*`` counters.
+
+    The same counters back
+    :meth:`~repro.crowd.platform.CrowdPlatform.resilience_report`, so
+    this section and the report can never disagree.
+    """
+    return {
+        "retries_by_category": _int_map(metrics.by_suffix("crowd.retries")),
+        "abandons_by_category": _int_map(metrics.by_suffix("crowd.abandons")),
+        "timeouts": int(metrics.counter("crowd.faults.timeout")),
+        "abandons": int(metrics.counter("crowd.faults.abandon")),
+        "garbage_answers": int(metrics.counter("crowd.faults.garbage")),
+        "spam_rejected": int(metrics.counter("crowd.spam.rejected")),
+        "quarantine_trips": int(metrics.counter("crowd.quarantine.trips")),
+        "degradations": int(metrics.counter("plan.degradations")),
+    }
+
+
+def plan_summary(plan) -> dict:
+    """A JSON-friendly summary of a
+    :class:`~repro.core.model.PreprocessingPlan`."""
+    resilience = getattr(plan, "resilience", None)
+    return {
+        "targets": list(plan.query.targets),
+        "attributes": list(plan.attributes),
+        "budget_counts": _int_map(plan.budget.counts),
+        "online_questions_per_object": int(plan.budget.total_questions),
+        "dismantle_rounds": int(plan.dismantle_rounds),
+        "preprocessing_cost_cents": float(plan.preprocessing_cost),
+        "degradations": len(resilience.degradations) if resilience else 0,
+    }
+
+
+def build_manifest(
+    label: str,
+    obs,
+    plan=None,
+    extra: dict | None = None,
+    created_at: float | None = None,
+) -> dict:
+    """Assemble a run manifest from an :class:`~repro.obs.Observability`.
+
+    Parameters
+    ----------
+    label:
+        Human-readable run identifier (bench name, CLI command line).
+    obs:
+        The run's observability bundle (tracer + metrics).  A disabled
+        bundle yields a valid, mostly-empty manifest.
+    plan:
+        Optional :class:`~repro.core.model.PreprocessingPlan` to
+        summarise.
+    extra:
+        Optional free-form section merged under ``"extra"`` (sweep
+        grids, error tables, environment notes).
+    created_at:
+        Unix timestamp override (defaults to now); pin it in tests that
+        compare manifests byte-for-byte.
+    """
+    metrics = obs.metrics
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "label": str(label),
+        "created_at": float(time.time() if created_at is None else created_at),
+        "phases": {
+            path: round(seconds, 6)
+            for path, seconds in obs.tracer.phase_seconds().items()
+        },
+        "spend": spend_from_metrics(metrics),
+        "resilience": resilience_from_metrics(metrics),
+        "allocator": {
+            "calls": int(metrics.counter("allocator.calls")),
+            "grants": int(metrics.counter("allocator.grants")),
+        },
+        "online": {
+            "objects": int(metrics.counter("online.objects")),
+            "budget_skips": int(metrics.counter("online.budget_skips")),
+            "fault_skips": int(metrics.counter("online.fault_skips")),
+        },
+        "counters": metrics.counters(),
+        "gauges": metrics.gauges(),
+    }
+    if plan is not None:
+        manifest["plan"] = plan_summary(plan)
+    if extra is not None:
+        manifest["extra"] = dict(extra)
+    validate_manifest(manifest)
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Minimal JSON-Schema-subset validation (no external dependency)
+# ---------------------------------------------------------------------------
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(value, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        if not _TYPE_CHECKS[expected](value):
+            errors.append(
+                f"{path or '$'}: expected {expected}, "
+                f"got {type(value).__name__}"
+            )
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path or '$'}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path or '$'}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for key, item in value.items():
+            key_path = f"{path}.{key}" if path else key
+            if key in properties:
+                _validate(item, properties[key], key_path, errors)
+            elif isinstance(additional, dict):
+                _validate(item, additional, key_path, errors)
+            elif additional is False:
+                errors.append(f"{key_path}: unexpected key")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def manifest_errors(manifest: dict, schema: dict | None = None) -> list[str]:
+    """All schema violations in ``manifest`` (empty = valid)."""
+    errors: list[str] = []
+    _validate(manifest, schema if schema is not None else MANIFEST_SCHEMA, "", errors)
+    return errors
+
+
+def validate_manifest(manifest: dict, schema: dict | None = None) -> dict:
+    """Raise :class:`~repro.errors.ConfigurationError` if invalid."""
+    errors = manifest_errors(manifest, schema)
+    if errors:
+        raise ConfigurationError(
+            "invalid run manifest: " + "; ".join(errors[:5])
+            + (f" (+{len(errors) - 5} more)" if len(errors) > 5 else "")
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+
+def write_manifest(path: str | Path, manifest: dict) -> Path:
+    """Validate and write ``manifest`` as pretty JSON; returns the path."""
+    validate_manifest(manifest)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read and validate a manifest file."""
+    manifest = json.loads(Path(path).read_text())
+    return validate_manifest(manifest)

@@ -1,0 +1,226 @@
+"""Nested phase spans and point events for crowd-pipeline runs.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+pipeline phase (``preprocess`` → ``examples`` / ``statistics`` /
+``dismantle`` / ``allocate`` / ``train``, then ``online``) — plus flat
+:class:`Event` records attached to whichever span was open when they
+happened (per-question asks, budget truncations, fault retries …).
+
+Spans time themselves on ``time.perf_counter``; timing is purely
+observational, so enabling a tracer can never change experiment
+results.  The disabled path is :data:`NULL_TRACER`, whose ``span``
+returns a shared do-nothing context manager and whose ``event`` is a
+no-op — near-zero-cost for instrumented call sites.
+
+The manifest layer consumes :meth:`Tracer.phase_seconds`, which
+flattens the span tree into ``{"preprocess": 1.2,
+"preprocess/allocate": 0.3, …}`` wall-clock totals (repeated spans of
+the same path accumulate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Event:
+    """One point-in-time occurrence inside a span."""
+
+    name: str
+    at: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "at": self.at, "attrs": dict(self.attrs)}
+
+
+@dataclass
+class Span:
+    """One timed phase, possibly containing child spans and events."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": round(self.seconds, 6),
+            "attrs": dict(self.attrs),
+            "events": [event.to_dict() for event in self.events],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager closing one span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects a forest of nested spans with attached events."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._events_dropped = 0
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a child span of the currently open span (or a root).
+
+        Use as ``with tracer.span("allocate"): …``.
+        """
+        span = Span(name=name, start=self._clock(), attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ConfigurationError(
+                f"span {span.name!r} closed out of order"
+            )
+        span.end = self._clock()
+        self._stack.pop()
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event on the innermost open span.
+
+        Events outside any span are attached to a synthetic root span
+        named ``<detached>`` so they are never silently lost.
+        """
+        record = Event(name=name, at=self._clock(), attrs=attrs)
+        if self._stack:
+            self._stack[-1].events.append(record)
+            return
+        if not self._roots or self._roots[-1].name != "<detached>":
+            detached = Span(name="<detached>", start=record.at, end=record.at)
+            self._roots.append(detached)
+        self._roots[-1].events.append(record)
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def roots(self) -> tuple[Span, ...]:
+        """Top-level spans recorded so far."""
+        return tuple(self._roots)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Wall clock per span *path*, summed over repeated spans.
+
+        Paths join nested span names with ``/``; open spans contribute
+        nothing.  The ``<detached>`` event holder is skipped.
+        """
+        totals: dict[str, float] = {}
+
+        def walk(span: Span, prefix: str) -> None:
+            if span.name == "<detached>":
+                return
+            path = f"{prefix}/{span.name}" if prefix else span.name
+            totals[path] = totals.get(path, 0.0) + span.seconds
+            for child in span.children:
+                walk(child, path)
+
+        for root in self._roots:
+            walk(root, "")
+        return {path: totals[path] for path in sorted(totals)}
+
+    def event_count(self, name: str | None = None) -> int:
+        """Number of recorded events (optionally of one name)."""
+        count = 0
+
+        def walk(span: Span) -> None:
+            nonlocal count
+            for event in span.events:
+                if name is None or event.name == name:
+                    count += 1
+            for child in span.children:
+                walk(child)
+
+        for root in self._roots:
+            walk(root)
+        return count
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable dump of the whole span forest."""
+        return {"spans": [root.to_dict() for root in self._roots]}
+
+
+class _NullSpanContext:
+    """Shared do-nothing span context for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: spans and events cost (almost) nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    @property
+    def roots(self) -> tuple:
+        return ()
+
+    def phase_seconds(self) -> dict[str, float]:
+        return {}
+
+    def event_count(self, name: str | None = None) -> int:
+        return 0
+
+    def to_dict(self) -> dict:
+        return {"spans": []}
+
+
+#: Shared no-op tracer (stateless, safe to share globally).
+NULL_TRACER = NullTracer()

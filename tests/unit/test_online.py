@@ -75,6 +75,43 @@ class TestOnlineEvaluator:
         estimates = evaluator.evaluate(range(5))  # 5 objects x 4c > 2c
         assert len(estimates["target"]) == 5  # still one estimate per object
 
+    def test_budget_exhaustion_recorded_in_budget_skips(self, tiny_domain):
+        # Regression: estimate_object used to swallow the truncation
+        # with a bare break, leaving no trace that estimates were
+        # partial.  The skip list mirrors fault_skips.
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.pricing import Budget
+
+        platform = CrowdPlatform(tiny_domain, budget=Budget(2.0), seed=0)
+        evaluator = OnlineEvaluator(platform, identity_plan("target", 10))
+        assert evaluator.budget_skips == []
+        evaluator.evaluate(range(5))
+        assert evaluator.budget_skips  # budget died mid-run
+        skipped_objects = [obj for obj, _ in evaluator.budget_skips]
+        assert all(0 <= obj < 5 for obj in skipped_objects)
+        assert all(attr == "target" for _, attr in evaluator.budget_skips)
+        # At most one skip per object: the per-plan loop breaks.
+        assert len(skipped_objects) == len(set(skipped_objects))
+
+    def test_budget_skips_feed_metrics_and_tracer(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.pricing import Budget
+        from repro.obs import Observability
+
+        obs = Observability.collecting()
+        platform = CrowdPlatform(
+            tiny_domain, budget=Budget(2.0), seed=0, obs=obs
+        )
+        evaluator = OnlineEvaluator(platform, identity_plan("target", 10))
+        evaluator.evaluate(range(5))
+        assert obs.metrics.counter("online.objects") == 5
+        assert obs.metrics.counter("online.budget_skips") == len(
+            evaluator.budget_skips
+        )
+        assert obs.tracer.event_count("online.budget_skip") == len(
+            evaluator.budget_skips
+        )
+
 
 class TestErrorMetrics:
     def test_target_error_zero_on_truth(self, tiny_domain):

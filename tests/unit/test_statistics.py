@@ -191,6 +191,84 @@ class TestShrinkageAndAssembly:
         assert after > before  # the huge-disagreement example must show up
 
 
+class TestEmptyBatchAlignment:
+    """Regression: an empty answer batch (fully spam-rejected) used to
+    shift the pairing of every later example in the S_o/S_a covariance
+    computations, because ``answer_means`` silently skips empty batches
+    while the target/means arrays were sliced by plain prefix."""
+
+    @staticmethod
+    def pool_with_hole():
+        pool = ExamplePool("t")
+        for i, value in enumerate([10.0, 20.0, 30.0, 40.0]):
+            pool.add_example(i, value)
+        # Example 1's batch came back empty (e.g. all spam-rejected).
+        pool.record_answers("a", [[1.0, 3.0], [], [3.0, 5.0], [4.0, 6.0]])
+        return pool
+
+    def test_aligned_answer_means_reports_indices(self):
+        pool = self.pool_with_hole()
+        indices, means = pool.aligned_answer_means("a")
+        assert list(indices) == [0, 2, 3]
+        assert list(means) == [2.0, 4.0, 5.0]
+
+    def test_n_answered_counts_nonempty_only(self):
+        pool = self.pool_with_hole()
+        assert pool.n_answered("a") == 3
+        assert pool.n_measured("a") == 4  # batches recorded, incl. empty
+
+    def test_within_variances_skips_empty(self):
+        pool = self.pool_with_hole()
+        assert list(pool.within_variances("a")) == [2.0, 2.0, 2.0]
+
+    def test_s_o_pairs_means_with_matching_targets(self):
+        store = StatisticsStore(("t",), k=2)
+        pool = store.pool("t")
+        for i, value in enumerate([10.0, 20.0, 30.0, 40.0]):
+            pool.add_example(i, value)
+        store.register_attribute("a", {"t"})
+        pool.record_answers("a", [[1.0, 3.0], [], [3.0, 5.0], [4.0, 6.0]])
+        # Correct pairing: means [2, 4, 5] vs targets [10, 30, 40] —
+        # NOT the misaligned prefix [10, 20, 30].
+        expected = float(
+            np.cov([2.0, 4.0, 5.0], [10.0, 30.0, 40.0], ddof=1)[0, 1]
+        )
+        assert store.s_o_measured("t", "a") == pytest.approx(expected)
+
+    def test_s_a_intersects_example_indices(self):
+        store = StatisticsStore(("t",), k=2)
+        pool = store.pool("t")
+        for i in range(4):
+            pool.add_example(i, float(i))
+        store.register_attribute("a", {"t"})
+        store.register_attribute("b", {"t"})
+        # 'a' is missing example 1, 'b' is missing example 3: only the
+        # common examples {0, 2} may covary.
+        pool.record_answers("a", [[1.0], [], [3.0], [5.0]])
+        pool.record_answers("b", [[2.0], [4.0], [6.0], []])
+        expected = float(np.cov([1.0, 3.0], [2.0, 6.0], ddof=1)[0, 1])
+        assert store.s_a_entry("a", "b") == pytest.approx(expected)
+
+    def test_no_common_examples_is_none(self):
+        store = StatisticsStore(("t",), k=2)
+        pool = store.pool("t")
+        for i in range(4):
+            pool.add_example(i, float(i))
+        store.register_attribute("a", {"t"})
+        store.register_attribute("b", {"t"})
+        pool.record_answers("a", [[1.0], [], [3.0], []])
+        pool.record_answers("b", [[], [2.0], [], [4.0]])
+        assert store.s_a_entry("a", "b") is None
+
+    def test_no_empty_batches_matches_plain_path(self):
+        # Sanity: with no holes the aligned computation is the old one.
+        store = build_store(n=60, seed=11)
+        pool = store.pool("t")
+        means = pool.answer_means("a")
+        expected = float(np.cov(means, pool.target_array(), ddof=1)[0, 1])
+        assert store.s_o_measured("t", "a") == pytest.approx(expected)
+
+
 class TestMultiPoolStatistics:
     def test_s_c_pooled_across_pools(self):
         store = StatisticsStore(("t", "u"), k=2)
