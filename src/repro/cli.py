@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 
 from repro.core.disq import DisQParams, DisQPlanner
 from repro.core.online import OnlineEvaluator, default_weights, query_error
@@ -34,6 +35,8 @@ from repro.domains import (
     make_recipes_domain,
     make_synthetic_domain,
 )
+from repro.durability import CrashInjector, durability_summary, run_disq
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ExperimentConfig,
     coverage_experiment,
@@ -45,6 +48,12 @@ from repro.experiments import (
 from repro.experiments.runner import make_query
 from repro.obs import NULL_OBS, Observability
 from repro.obs.manifest import build_manifest, write_manifest
+
+#: Exit code for bad configuration (flags, budgets, checkpoint mismatch).
+EXIT_CONFIGURATION_ERROR = 2
+#: Exit code for an unexpected crash mid-run (incl. injected chaos);
+#: distinct from configuration errors so wrappers can decide to resume.
+EXIT_CRASH = 70
 
 DOMAINS = {
     "pictures": make_pictures_domain,
@@ -85,6 +94,28 @@ def _add_manifest(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_durability(parser: argparse.ArgumentParser, chaos: bool = False) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="journal answers and checkpoint phase boundaries under DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from its checkpoint (needs --checkpoint-dir)",
+    )
+    if chaos:
+        parser.add_argument(
+            "--chaos-after",
+            type=int,
+            metavar="N",
+            default=None,
+            help="fault injection: crash after N crowd interactions",
+        )
+
+
 def _make_obs(args) -> Observability:
     """A recording bundle when ``--manifest`` was given, else the no-op."""
     if getattr(args, "manifest", None):
@@ -92,13 +123,50 @@ def _make_obs(args) -> Observability:
     return NULL_OBS
 
 
-def _emit_manifest(args, obs: Observability, label: str, plan=None, extra=None) -> None:
+def _make_chaos(args) -> CrashInjector | None:
+    """A crash injector when ``--chaos-after N`` was given, else ``None``."""
+    if getattr(args, "chaos_after", None) is None:
+        return None
+    return CrashInjector(at_interactions=args.chaos_after)
+
+
+def _check_durability_flags(args) -> None:
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        raise ConfigurationError("--resume requires --checkpoint-dir")
+
+
+def _emit_manifest(
+    args, obs: Observability, label: str, plan=None, extra=None, durability=None
+) -> None:
     """Write the run manifest when ``--manifest PATH`` was given."""
     if not getattr(args, "manifest", None):
         return
-    manifest = build_manifest(label, obs, plan=plan, extra=extra)
+    manifest = build_manifest(
+        label, obs, plan=plan, extra=extra, durability=durability
+    )
     path = write_manifest(args.manifest, manifest)
     print(f"\nrun manifest written to {path}")
+
+
+def _resume_hint(args, argv: list[str]) -> str | None:
+    """A copy-pasteable resume command after a crash, when possible."""
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if not checkpoint_dir or not any(Path(checkpoint_dir).glob("*")):
+        return None
+    cleaned: list[str] = []
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        # Drop the crash injection and any prior --resume; keep the rest.
+        if token == "--chaos-after":
+            skip = True
+            continue
+        if token.startswith("--chaos-after=") or token == "--resume":
+            continue
+        cleaned.append(token)
+    return "python -m repro " + " ".join(cleaned + ["--resume"])
 
 
 def _build(args, obs: Observability | None = None) -> tuple:
@@ -112,25 +180,51 @@ def _build(args, obs: Observability | None = None) -> tuple:
 
 def cmd_plan(args) -> int:
     """Run the offline phase and print the plan."""
+    _check_durability_flags(args)
     obs = _make_obs(args)
     domain, platform, query = _build(args, obs)
-    planner = DisQPlanner(
-        platform, query, args.b_obj, args.b_prc, DisQParams(n1=args.n1)
+    run = run_disq(
+        platform,
+        query,
+        args.b_obj,
+        args.b_prc,
+        DisQParams(n1=args.n1),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        chaos=_make_chaos(args),
     )
-    plan = planner.preprocess()
+    plan = run.plan
+    if run.resumed:
+        print(f"resumed from checkpoint after phase: {run.resumed_from}")
     print(plan.describe())
-    _emit_manifest(args, obs, f"plan:{args.domain}:{','.join(args.target)}", plan=plan)
+    _emit_manifest(
+        args,
+        obs,
+        f"plan:{args.domain}:{','.join(args.target)}",
+        plan=plan,
+        durability=durability_summary(run) if args.checkpoint_dir else None,
+    )
     return 0
 
 
 def cmd_evaluate(args) -> int:
     """Plan, then run the online phase and report the query error."""
+    _check_durability_flags(args)
     obs = _make_obs(args)
     domain, platform, query = _build(args, obs)
-    planner = DisQPlanner(
-        platform, query, args.b_obj, args.b_prc, DisQParams(n1=args.n1)
+    run = run_disq(
+        platform,
+        query,
+        args.b_obj,
+        args.b_prc,
+        DisQParams(n1=args.n1),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        chaos=_make_chaos(args),
     )
-    plan = planner.preprocess()
+    plan = run.plan
+    if run.resumed:
+        print(f"resumed from checkpoint after phase: {run.resumed_from}")
     print(plan.describe())
     object_ids = range(min(args.objects, domain.n_objects()))
     with obs.tracer.span("online"):
@@ -149,12 +243,14 @@ def cmd_evaluate(args) -> int:
     _emit_manifest(
         args, obs, f"evaluate:{args.domain}:{','.join(args.target)}",
         plan=plan, extra=extra,
+        durability=durability_summary(run) if args.checkpoint_dir else None,
     )
     return 0
 
 
 def cmd_sweep(args) -> int:
     """Sweep one budget axis across algorithms and print the series."""
+    _check_durability_flags(args)
     obs = _make_obs(args)
     domain, _, query = _build(args)
     config = ExperimentConfig(
@@ -167,12 +263,14 @@ def cmd_sweep(args) -> int:
     algorithms = args.algorithms.split(",")
     if args.axis == "b_obj":
         series = sweep_b_obj(
-            algorithms, domain, query, values, args.b_prc, config, obs=obs
+            algorithms, domain, query, values, args.b_prc, config, obs=obs,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         )
         print(render_series(series, "B_obj(c)"))
     else:
         series = sweep_b_prc(
-            algorithms, domain, query, args.b_obj, values, config, obs=obs
+            algorithms, domain, query, args.b_obj, values, config, obs=obs,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         )
         print(render_series(series, "B_prc(c)"))
     _emit_manifest(
@@ -262,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--b-obj", type=float, default=4.0, help="online cents/object")
     plan.add_argument("--b-prc", type=float, default=2000.0, help="offline cents")
     _add_manifest(plan)
+    _add_durability(plan, chaos=True)
     plan.set_defaults(handler=cmd_plan)
 
     evaluate = commands.add_parser("evaluate", help="plan + online phase + error")
@@ -273,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true", help="also run NaiveAverage"
     )
     _add_manifest(evaluate)
+    _add_durability(evaluate, chaos=True)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     sweep = commands.add_parser("sweep", help="budget sweep across algorithms")
@@ -288,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated registry names",
     )
     _add_manifest(sweep)
+    _add_durability(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
     coverage = commands.add_parser("coverage", help="gold-standard coverage")
@@ -307,9 +408,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point (``python -m repro ...``)."""
-    args = build_parser().parse_args(argv)
-    return args.handler(args)
+    """Entry point (``python -m repro ...``).
+
+    Exit codes: 0 on success, :data:`EXIT_CONFIGURATION_ERROR` (2) for
+    bad configuration, :data:`EXIT_CRASH` (70) for an unexpected crash
+    mid-run — in which case a ready-to-paste ``--resume`` command is
+    printed when a checkpoint directory holds recoverable state.
+    """
+    effective_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(effective_argv)
+    try:
+        return args.handler(args)
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIGURATION_ERROR
+    except Exception as exc:  # noqa: BLE001 - crash boundary by design
+        print(f"crashed: {exc}", file=sys.stderr)
+        hint = _resume_hint(args, effective_argv)
+        if hint:
+            print(f"resume with: {hint}", file=sys.stderr)
+        return EXIT_CRASH
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ the paper describes them.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -48,11 +49,18 @@ from repro.crowd.pricing import Budget
 from repro.crowd.verification import SequentialVerifier
 from repro.errors import (
     BudgetExhaustedError,
+    CheckpointError,
     ConfigurationError,
     CrowdFaultError,
     PlanningError,
     UnknownAttributeError,
 )
+
+#: The planner's phases, in execution order.  A checkpoint names the
+#: last phase whose boundary it captured; resume re-executes everything
+#: after it ("train" re-runs from the "allocate" checkpoint, so no
+#: checkpoint is written at the train boundary).
+PHASES = ("examples", "statistics", "dismantle", "allocate", "train")
 
 #: Consecutive crowd-fault failures after which a collection loop gives
 #: up on its current goal (pool filling, attribute measurement) and the
@@ -204,6 +212,26 @@ class DisQPlanner:
         Offline preprocessing budget in cents.
     params:
         Planner configuration; defaults reproduce full DisQ.
+    checkpoints:
+        Optional duck-typed checkpoint store (a
+        :class:`repro.durability.checkpoint.CheckpointStore`).  When
+        set, the planner saves its full deterministic state at every
+        phase boundary (atomically), which is what makes a resumed run
+        bit-identical to an uninterrupted one.
+    journal:
+        Optional duck-typed write-ahead journal (a
+        :class:`repro.durability.journal.Journal`): attached to the
+        forked platform's recorder and ledger so every crowd
+        interaction is durable before it is applied.
+    chaos:
+        Optional duck-typed crash injector (a
+        :class:`repro.durability.chaos.CrashInjector`) for the chaos
+        test matrix; attached to the forked platform.
+    resume:
+        When True and ``checkpoints`` holds a saved checkpoint, restore
+        it and continue from the checkpointed phase instead of starting
+        fresh (a mismatched query/budget/seed configuration raises
+        :class:`~repro.errors.CheckpointError`).
     """
 
     def __init__(
@@ -213,6 +241,10 @@ class DisQPlanner:
         b_obj_cents: float,
         b_prc_cents: float,
         params: DisQParams | None = None,
+        checkpoints: object | None = None,
+        journal: object | None = None,
+        chaos: object | None = None,
+        resume: bool = False,
     ) -> None:
         if b_obj_cents <= 0 or b_prc_cents <= 0:
             raise ConfigurationError("both budgets must be positive")
@@ -231,6 +263,32 @@ class DisQPlanner:
         self._degradations: list[str] = []
         self._dismantle_fault_strikes = 0
 
+        # Durability hooks (duck-typed so this module never imports
+        # repro.durability — that package imports this one).
+        self._checkpoints = checkpoints
+        self._journal = journal
+        if journal is not None:
+            self.platform.recorder.journal = journal
+            self.platform.ledger.journal = journal
+        if chaos is not None:
+            self.platform.chaos = chaos
+        #: Index into :data:`PHASES` of the last completed phase.
+        self._completed_phase = -1
+        self._restored_allocation: BudgetDistribution | None = None
+        #: Phase name this run resumed from (None for a fresh run).
+        self.resumed_from: str | None = None
+        #: Journal records already committed when the run resumed.
+        self.restored_journal_records = 0
+        if resume and checkpoints is not None and checkpoints.exists():
+            self._restore_checkpoint(checkpoints.load())
+            if journal is not None:
+                self.restored_journal_records = journal.record_count
+                journal.mark_resume(
+                    self.resumed_from,
+                    self.platform.recorder,
+                    self.platform.ledger,
+                )
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -246,7 +304,14 @@ class DisQPlanner:
         return 1 if self._shared_pooling else len(self.query.targets)
 
     def preprocess(self) -> PreprocessingPlan:
-        """Run the full offline phase and return the ``(l, b)`` plan."""
+        """Run the full offline phase and return the ``(l, b)`` plan.
+
+        With a checkpoint store attached, each phase boundary persists
+        the complete deterministic state; a resumed planner skips the
+        phases its checkpoint already covers and re-executes the rest,
+        which (same configuration, same seed) reproduces the
+        uninterrupted run bit for bit.
+        """
         manager = PreprocessingBudgetManager(
             budget=self.platform.budget,
             prices=self.platform.prices,
@@ -258,21 +323,37 @@ class DisQPlanner:
         )
         obs = self.platform.obs
         with obs.tracer.span("preprocess"):
-            with obs.tracer.span("examples"):
-                self._collect_examples()
-            with obs.tracer.span("statistics"):
-                self._measure_query_attributes()
-            if self.params.dismantling:
-                with obs.tracer.span("dismantle"):
-                    self._dismantle_loop(manager)
-            if self.params.graceful_degradation:
-                self._prune_unmeasured()
-            with obs.tracer.span("allocate"):
-                budget = self._find_budget_distribution()
-                if self.params.graceful_degradation and not budget.counts:
-                    budget = self._fallback_budget()
+            if self._needs("examples"):
+                with obs.tracer.span("examples"):
+                    self._collect_examples()
+                self._phase_boundary("examples")
+            if self._needs("statistics"):
+                with obs.tracer.span("statistics"):
+                    self._measure_query_attributes()
+                self._phase_boundary("statistics")
+            if self._needs("dismantle"):
+                if self.params.dismantling:
+                    with obs.tracer.span("dismantle"):
+                        self._dismantle_loop(manager)
+                self._phase_boundary("dismantle")
+            if self._needs("allocate"):
+                if self.params.graceful_degradation:
+                    self._prune_unmeasured()
+                with obs.tracer.span("allocate"):
+                    budget = self._find_budget_distribution()
+                    if self.params.graceful_degradation and not budget.counts:
+                        budget = self._fallback_budget()
+                self._phase_boundary("allocate", allocation=budget)
+            else:
+                if self._restored_allocation is None:
+                    raise CheckpointError(
+                        "checkpoint claims the allocate phase completed "
+                        "but holds no allocation"
+                    )
+                budget = self._restored_allocation
             with obs.tracer.span("train"):
                 formulas = self._learn_regressions(budget)
+            self._phase_boundary("train")
         report = self.platform.resilience_report()
         for event in self._degradations:
             report.add_degradation(event)
@@ -294,6 +375,114 @@ class DisQPlanner:
         self._degradations.append(event)
         self.platform.obs.metrics.inc("plan.degradations")
         self.platform.obs.tracer.event("plan.degradation", detail=event)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def _needs(self, phase: str) -> bool:
+        """Whether ``phase`` still has to run (False when checkpointed)."""
+        return PHASES.index(phase) > self._completed_phase
+
+    def _phase_boundary(
+        self, phase: str, allocation: BudgetDistribution | None = None
+    ) -> None:
+        """Mark a phase complete: checkpoint, then fire the chaos hook.
+
+        The checkpoint is written *before* the chaos hook so a crash at
+        the boundary resumes from this phase, not the previous one.  The
+        train boundary writes no checkpoint — training re-executes from
+        the allocate checkpoint on resume.
+        """
+        self._completed_phase = PHASES.index(phase)
+        if phase != "train":
+            self._save_checkpoint(phase, allocation)
+        if self.platform.chaos is not None:
+            self.platform.chaos.phase_boundary(phase)
+
+    def _config_fingerprint(self) -> dict:
+        """The run configuration a checkpoint must match to be resumed."""
+        # Default reprs embed object addresses (``<... object at 0x...>``)
+        # which differ across processes; strip them so the fingerprint is
+        # stable for equal configurations.
+        params = re.sub(r" at 0x[0-9a-f]+", "", repr(self.params))
+        return {
+            "targets": list(self.query.targets),
+            "weights": [self.query.weight(t) for t in self.query.targets],
+            "b_obj_cents": self.b_obj_cents,
+            "b_prc_cents": self.b_prc_cents,
+            "seed": self.platform._seed,
+            "params": params,
+        }
+
+    def _save_checkpoint(
+        self, phase: str, allocation: BudgetDistribution | None
+    ) -> None:
+        if self._checkpoints is None:
+            return
+        sink = self.platform.obs.metrics_sink
+        self._checkpoints.save(
+            {
+                "phase": phase,
+                "config": self._config_fingerprint(),
+                "planner": {
+                    "question_counts": dict(self._question_counts),
+                    "discovery_log": [list(e) for e in self._discovery_log],
+                    "rejected": sorted(list(pair) for pair in self._rejected),
+                    "rounds": self._rounds,
+                    "degradations": list(self._degradations),
+                    "dismantle_fault_strikes": self._dismantle_fault_strikes,
+                },
+                "statistics": self.stats.state_dict(),
+                "platform": self.platform.capture_state(),
+                "allocation": (
+                    dict(allocation.counts) if allocation is not None else None
+                ),
+                "journal_records": (
+                    self._journal.record_count
+                    if self._journal is not None
+                    else 0
+                ),
+                "metrics": sink.to_dict() if sink is not None else None,
+            }
+        )
+        self.platform.obs.tracer.event("checkpoint.saved", phase=phase)
+
+    def _restore_checkpoint(self, payload: dict) -> None:
+        if payload["config"] != self._config_fingerprint():
+            raise CheckpointError(
+                "checkpoint was written by a run with a different "
+                "query/budget/seed/params configuration; refusing to resume"
+            )
+        phase = str(payload["phase"])
+        if phase not in PHASES:
+            raise CheckpointError(f"checkpoint names unknown phase {phase!r}")
+        planner = payload["planner"]
+        self._question_counts = {
+            str(k): int(v) for k, v in planner["question_counts"].items()
+        }
+        self._discovery_log = [
+            (str(a), str(b), bool(c)) for a, b, c in planner["discovery_log"]
+        ]
+        self._rejected = {(str(a), str(b)) for a, b in planner["rejected"]}
+        self._rounds = int(planner["rounds"])
+        self._degradations = [str(e) for e in planner["degradations"]]
+        self._dismantle_fault_strikes = int(planner["dismantle_fault_strikes"])
+        self.stats.restore_state(payload["statistics"])
+        self.platform.restore_state(payload["platform"])
+        if payload.get("allocation") is not None:
+            self._restored_allocation = BudgetDistribution(
+                {str(k): int(v) for k, v in payload["allocation"].items()}
+            )
+        # Metrics observed before the crash merge into this run's
+        # registry, so a resumed manifest still matches its ledger.
+        if payload.get("metrics") is not None:
+            sink = self.platform.obs.metrics_sink
+            if sink is not None:
+                sink.merge(payload["metrics"])
+        self._completed_phase = PHASES.index(phase)
+        self.resumed_from = phase
+        self.platform.obs.tracer.event("checkpoint.restored", phase=phase)
 
     # ------------------------------------------------------------------
     # Phase 1: example pools (GetExamples)

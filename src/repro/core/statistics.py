@@ -188,6 +188,32 @@ class ExamplePool:
         values = self.target_values if limit is None else self.target_values[:limit]
         return np.asarray(values, dtype=float)
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the pool's contents."""
+        return {
+            "target": self.target,
+            "object_ids": list(self.object_ids),
+            "target_values": list(self.target_values),
+            "answers": {
+                attribute: [list(batch) for batch in batches]
+                for attribute, batches in self._answers.items()
+            },
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "ExamplePool":
+        """Rebuild a pool from :meth:`state_dict` output."""
+        pool = cls(target=str(payload["target"]))
+        pool.object_ids = [int(oid) for oid in payload["object_ids"]]
+        pool.target_values = [float(v) for v in payload["target_values"]]
+        pool._answers = {
+            str(attribute): [[float(a) for a in batch] for batch in batches]
+            for attribute, batches in payload["answers"].items()
+        }
+        pool.version = int(payload["version"])
+        return pool
+
 
 class StatisticsStore:
     """Estimates of ``(S_o, S_a, S_c)`` over the discovered attributes.
@@ -226,6 +252,44 @@ class StatisticsStore:
         if key not in self._cache:
             self._cache[key] = compute()
         return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the full statistics state."""
+        return {
+            "targets": list(self.targets),
+            "k": self.k,
+            "attributes": list(self.attributes),
+            "pairings": {
+                attribute: sorted(targets)
+                for attribute, targets in self.pairings.items()
+            },
+            "pools": {
+                target: pool.state_dict() for target, pool in self.pools.items()
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore :meth:`state_dict` in place (cache invalidated)."""
+        if tuple(payload["targets"]) != self.targets or int(payload["k"]) != self.k:
+            raise ConfigurationError(
+                "checkpointed statistics were collected for different "
+                "targets or k"
+            )
+        self.attributes = [str(a) for a in payload["attributes"]]
+        self.pairings = {
+            str(attribute): {str(t) for t in targets}
+            for attribute, targets in payload["pairings"].items()
+        }
+        self.pools = {
+            str(target): ExamplePool.from_state(state)
+            for target, state in payload["pools"].items()
+        }
+        self._cache.clear()
+        self._cache_version = -1
 
     # ------------------------------------------------------------------
     # Recording

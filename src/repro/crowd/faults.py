@@ -47,6 +47,8 @@ class SimulatedClock:
     """
 
     def __init__(self, start: float = 0.0) -> None:
+        if not math.isfinite(start):
+            raise ConfigurationError(f"clock start must be finite: {start!r}")
         self._now = float(start)
 
     @property
@@ -55,11 +57,27 @@ class SimulatedClock:
         return self._now
 
     def advance(self, seconds: float) -> float:
-        """Move time forward (negative advances are configuration bugs)."""
-        if seconds < 0:
-            raise ConfigurationError(f"cannot advance clock by {seconds}")
+        """Move time forward (negative advances are configuration bugs).
+
+        NaN and infinity are rejected explicitly: ``nan < 0`` is False,
+        so without the finiteness check a NaN advance would silently
+        poison the clock and every timing-based decision after it.
+        """
+        if not math.isfinite(seconds) or seconds < 0:
+            raise ConfigurationError(f"cannot advance clock by {seconds!r}")
         self._now += float(seconds)
         return self._now
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the clock."""
+        return {"now": self._now}
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore the clock from :meth:`state_dict`."""
+        now = float(payload["now"])
+        if not math.isfinite(now):
+            raise ConfigurationError(f"checkpointed clock is not finite: {now!r}")
+        self._now = now
 
 
 class FaultKind(enum.Enum):
@@ -97,9 +115,11 @@ class FaultRates:
     def __post_init__(self) -> None:
         for name in ("timeout", "abandon", "garbage"):
             rate = getattr(self, name)
-            if not 0.0 <= rate <= 1.0:
+            # isfinite first: NaN fails chained comparisons anyway, but
+            # the explicit check gives an unambiguous error message.
+            if not math.isfinite(rate) or not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(
-                    f"fault rate {name}={rate!r} must lie in [0, 1]"
+                    f"fault rate {name}={rate!r} must be finite and lie in [0, 1]"
                 )
         if self.timeout + self.abandon + self.garbage > 1.0 + 1e-12:
             raise ConfigurationError(
@@ -287,6 +307,20 @@ class FaultInjector:
         """A malformed dismantling answer (an unknown token)."""
         return f"__garbage_{int(self._rng.integers(0, 10**6))}__"
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the injector's mutable state."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "counts": {kind.value: count for kind, count in self.counts.items()},
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore RNG and fault counts from :meth:`state_dict`."""
+        self._rng.bit_generator.state = payload["rng"]
+        self.counts = {
+            kind: int(payload["counts"].get(kind.value, 0)) for kind in FaultKind
+        }
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -319,14 +353,24 @@ class RetryPolicy:
     question_timeout: float = 60.0
 
     def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ConfigurationError(f"max_retries must be >= 0: {self.max_retries}")
-        if self.base_delay < 0 or self.max_delay < 0 or self.question_timeout < 0:
-            raise ConfigurationError("retry delays must be non-negative")
-        if self.multiplier < 1.0:
-            raise ConfigurationError(f"multiplier must be >= 1: {self.multiplier}")
-        if not 0.0 <= self.jitter <= 1.0:
-            raise ConfigurationError(f"jitter must lie in [0, 1]: {self.jitter}")
+        if not math.isfinite(self.max_retries) or self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0: {self.max_retries!r}")
+        for name in ("base_delay", "max_delay", "question_timeout"):
+            delay = getattr(self, name)
+            # NaN passes a bare `< 0` guard and inf makes backoff never
+            # terminate in simulated time; both are configuration bugs.
+            if not math.isfinite(delay) or delay < 0:
+                raise ConfigurationError(
+                    f"retry delay {name}={delay!r} must be non-negative and finite"
+                )
+        if not math.isfinite(self.multiplier) or self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be finite and >= 1: {self.multiplier!r}"
+            )
+        if not math.isfinite(self.jitter) or not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be finite and lie in [0, 1]: {self.jitter!r}"
+            )
 
     @property
     def max_attempts(self) -> int:

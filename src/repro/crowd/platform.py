@@ -54,6 +54,7 @@ from repro.crowd.verification import SequentialVerifier, VerificationResult
 from repro.domains.base import Domain
 from repro.errors import (
     BudgetExhaustedError,
+    ConfigurationError,
     CrowdTimeoutError,
     MalformedAnswerError,
     UnknownAttributeError,
@@ -202,6 +203,12 @@ class CrowdPlatform:
         self._vote_cursor: dict[tuple[str, str], int] = {}
         self._example_cursor: dict[tuple[str, ...], int] = {}
 
+        #: Optional duck-typed chaos hook (a
+        #: :class:`repro.durability.chaos.CrashInjector`).  Notified
+        #: *after* each batch is charged and journaled, so a simulated
+        #: crash never loses a paid interaction.
+        self.chaos: object | None = None
+
     # ------------------------------------------------------------------
     # Name handling and pricing
     # ------------------------------------------------------------------
@@ -239,6 +246,8 @@ class CrowdPlatform:
         if self.budget is not None:
             self.budget.charge(cost)
         self.ledger.record(category, cost, count)
+        if self.chaos is not None:
+            self.chaos.note_interactions(count)
 
     # ------------------------------------------------------------------
     # Resilient worker interaction
@@ -537,6 +546,99 @@ class CrowdPlatform:
             ),
             simulated_seconds=self.clock.now if self.clock is not None else 0.0,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """JSON-serialisable snapshot of all mutable platform state.
+
+        Everything a deterministic re-execution needs travels here:
+        replay cursors, every RNG (platform, pool, workers, injector),
+        budget spend, ledger, recorder tapes, clock, and breaker
+        records.  Restoring this onto a platform built with the *same*
+        constructor arguments makes subsequent questions byte-identical
+        to a run that never stopped.
+        """
+        state: dict = {
+            "cursors": {
+                "value": [
+                    [oid, attr, pos]
+                    for (oid, attr), pos in self._value_cursor.items()
+                ],
+                "dismantle": [
+                    [attr, pos] for attr, pos in self._dismantle_cursor.items()
+                ],
+                "verification": [
+                    [attr, cand, pos]
+                    for (attr, cand), pos in self._vote_cursor.items()
+                ],
+                "example": [
+                    [list(targets), pos]
+                    for targets, pos in self._example_cursor.items()
+                ],
+            },
+            "rng": self._rng.bit_generator.state,
+            "budget": (
+                {"total": self.budget.total, "spent": self.budget.spent}
+                if self.budget is not None
+                else None
+            ),
+            "ledger": self.ledger.snapshot(),
+            "recorder": self.recorder.snapshot(),
+            "pool": (
+                self.pool.state_dict()
+                if hasattr(self.pool, "state_dict")
+                else None
+            ),
+            "injector": (
+                self.faults.state_dict() if self.faults is not None else None
+            ),
+            "clock": (
+                self.clock.state_dict() if self.clock is not None else None
+            ),
+            "breaker": (
+                self.breaker.state_dict() if self.breaker is not None else None
+            ),
+        }
+        return state
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore :meth:`capture_state` onto an identically built platform."""
+        cursors = payload["cursors"]
+        self._value_cursor = {
+            (int(oid), str(attr)): int(pos)
+            for oid, attr, pos in cursors["value"]
+        }
+        self._dismantle_cursor = {
+            str(attr): int(pos) for attr, pos in cursors["dismantle"]
+        }
+        self._vote_cursor = {
+            (str(attr), str(cand)): int(pos)
+            for attr, cand, pos in cursors["verification"]
+        }
+        self._example_cursor = {
+            tuple(str(t) for t in targets): int(pos)
+            for targets, pos in cursors["example"]
+        }
+        self._rng.bit_generator.state = payload["rng"]
+        if payload["budget"] is not None:
+            if self.budget is None or self.budget.total != payload["budget"]["total"]:
+                raise ConfigurationError(
+                    "checkpointed budget does not match this platform's budget"
+                )
+            self.budget.restore_spent(payload["budget"]["spent"])
+        self.ledger.restore(payload["ledger"])
+        self.recorder.restore(payload["recorder"])
+        if payload["pool"] is not None and hasattr(self.pool, "restore_state"):
+            self.pool.restore_state(payload["pool"])
+        if payload["injector"] is not None and self.faults is not None:
+            self.faults.restore_state(payload["injector"])
+        if payload["clock"] is not None and self.clock is not None:
+            self.clock.restore_state(payload["clock"])
+        if payload["breaker"] is not None and self.breaker is not None:
+            self.breaker.restore_state(payload["breaker"])
 
     def fork(
         self, budget: Budget | None = None, seed: int | None = None

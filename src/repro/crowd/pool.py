@@ -135,6 +135,29 @@ class WorkerPool:
             worker = self.draw()
         return worker
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the pool and worker RNG states.
+
+        Worker composition (types, skills, fault proneness) is fully
+        determined by the constructor arguments, so only the mutable
+        random state needs to travel in a checkpoint.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "workers": [worker.state_dict() for worker in self._workers],
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore RNG states captured by :meth:`state_dict`."""
+        if len(payload["workers"]) != len(self._workers):
+            raise ConfigurationError(
+                f"checkpointed pool has {len(payload['workers'])} workers; "
+                f"this pool has {len(self._workers)}"
+            )
+        self._rng.bit_generator.state = payload["rng"]
+        for worker, state in zip(self._workers, payload["workers"]):
+            worker.restore_state(state)
+
     def draw_distinct(self, n: int) -> list[Worker]:
         """Sample ``n`` distinct workers (for multi-vote tasks).
 

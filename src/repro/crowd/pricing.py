@@ -111,6 +111,12 @@ class CostLedger:
     #: ``None`` (the default) keeps the uninstrumented path to a single
     #: identity check.
     metrics: object | None = field(default=None, repr=False, compare=False)
+    #: Optional duck-typed write-ahead journal (a
+    #: :class:`repro.durability.journal.Journal`).  Every entry is
+    #: journaled *before* it mutates the ledger, so a crash between the
+    #: two leaves the journal strictly ahead — replay reapplies the
+    #: entry instead of losing it, and nothing is double-charged.
+    journal: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_spent(self) -> float:
@@ -128,6 +134,8 @@ class CostLedger:
             raise ConfigurationError(f"unknown ledger category: {category!r}")
         if cost < 0 or count < 0:
             raise ConfigurationError("ledger entries must be non-negative")
+        if self.journal is not None:
+            self.journal.record_ledger("charge", category, cost=cost, count=count)
         self.spent_by_category[category] += cost
         self.questions_by_category[category] += count
         if self.metrics is not None:
@@ -150,6 +158,8 @@ class CostLedger:
             raise ConfigurationError(f"unknown ledger category: {category!r}")
         if count < 0:
             raise ConfigurationError("ledger entries must be non-negative")
+        if self.journal is not None:
+            self.journal.record_ledger("retry", category, count=count)
         self.retries_by_category[category] += count
         if self.metrics is not None:
             self.metrics.inc(f"crowd.retries.{category}", count)
@@ -160,13 +170,44 @@ class CostLedger:
             raise ConfigurationError(f"unknown ledger category: {category!r}")
         if count < 0:
             raise ConfigurationError("ledger entries must be non-negative")
+        if self.journal is not None:
+            self.journal.record_ledger("abandon", category, count=count)
         self.abandons_by_category[category] += count
         if self.metrics is not None:
             self.metrics.inc(f"crowd.abandons.{category}", count)
 
-    def snapshot(self) -> dict[str, float]:
-        """Copy of the per-category spend (useful for before/after diffs)."""
-        return dict(self.spent_by_category)
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-serialisable copy of the full ledger state.
+
+        Used by checkpoints and journal resume markers; restore with
+        :meth:`restore`.  For before/after spend diffs, read
+        ``snapshot()["spent_by_category"]``.
+        """
+        return {
+            "spent_by_category": dict(self.spent_by_category),
+            "questions_by_category": dict(self.questions_by_category),
+            "retries_by_category": dict(self.retries_by_category),
+            "abandons_by_category": dict(self.abandons_by_category),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Replace all counters with a :meth:`snapshot` payload (in place).
+
+        Neither the metrics sink nor the journal sees restored entries:
+        both already observed them when the entries were first recorded.
+        """
+        self.spent_by_category = {
+            str(k): float(v) for k, v in payload["spent_by_category"].items()
+        }
+        self.questions_by_category = {
+            str(k): int(v) for k, v in payload["questions_by_category"].items()
+        }
+        self.retries_by_category = {
+            str(k): int(v) for k, v in payload["retries_by_category"].items()
+        }
+        self.abandons_by_category = {
+            str(k): int(v) for k, v in payload["abandons_by_category"].items()
+        }
 
 
 class Budget:
@@ -215,6 +256,16 @@ class Budget:
         if not self.can_afford(cost):
             raise BudgetExhaustedError(requested=cost, remaining=self.remaining)
         self._spent += cost
+
+    def restore_spent(self, spent: float) -> None:
+        """Reset the spent amount to a checkpointed value."""
+        spent = float(spent)
+        if not math.isfinite(spent) or spent < 0 or spent > self._total + 1e-9:
+            raise ConfigurationError(
+                f"checkpointed spend {spent!r} is outside budget "
+                f"[0, {self._total}]"
+            )
+        self._spent = spent
 
     def __repr__(self) -> str:
         return f"Budget(total={self._total:.2f}c, remaining={self.remaining:.2f}c)"

@@ -190,6 +190,19 @@ class ScreenedPool:
             indices = self._rng.integers(0, len(self._allowed), size=n)
         return [self._allowed[int(i)] for i in indices]
 
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot (own RNG + the wrapped pool)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "pool": self._pool.state_dict(),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore :meth:`state_dict` (the survivor list is rebuilt by
+        re-screening with the same seeds, so only RNGs travel here)."""
+        self._rng.bit_generator.state = payload["rng"]
+        self._pool.restore_state(payload["pool"])
+
 
 # ----------------------------------------------------------------------
 # Runtime quarantine (circuit breaker)
@@ -360,3 +373,36 @@ class WorkerCircuitBreaker:
         record.times_quarantined += 1
         if self.metrics is not None:
             self.metrics.inc("crowd.quarantine.trips")
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of every worker's breaker record."""
+        return {
+            "records": [
+                [
+                    worker_id,
+                    record.state.value,
+                    [bool(outcome) for outcome in record.outcomes],
+                    record.opened_at,
+                    record.probation_successes,
+                    record.times_quarantined,
+                ]
+                for worker_id, record in sorted(self._records.items())
+            ]
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore breaker records from :meth:`state_dict` (in place)."""
+        records: dict[int, _WorkerRecord] = {}
+        for worker_id, state, outcomes, opened_at, successes, trips in payload[
+            "records"
+        ]:
+            records[int(worker_id)] = _WorkerRecord(
+                state=BreakerState(state),
+                outcomes=[bool(outcome) for outcome in outcomes],
+                opened_at=float(opened_at),
+                probation_successes=int(successes),
+                times_quarantined=int(trips),
+            )
+        self._records = records

@@ -24,28 +24,40 @@ ExampleRecord = tuple[int, dict[str, float]]
 
 
 class AnswerRecorder:
-    """Append-only store of crowd answers keyed by question identity."""
+    """Append-only store of crowd answers keyed by question identity.
+
+    When ``journal`` is set (duck-typed against
+    :class:`repro.durability.journal.Journal`), every *freshly
+    generated* answer is journaled before it joins a tape — replayed
+    prefixes cost nothing and are not re-journaled — so replaying the
+    journal reconstructs the recorder exactly.
+    """
 
     def __init__(self) -> None:
         self._values: dict[tuple[int, str], list[float]] = {}
         self._dismantles: dict[str, list[str]] = {}
         self._votes: dict[tuple[str, str], list[bool]] = {}
         self._examples: dict[tuple[str, ...], list[ExampleRecord]] = {}
+        self.journal: object | None = None
 
     # ------------------------------------------------------------------
     # Generic prefix access
     # ------------------------------------------------------------------
 
-    @staticmethod
     def _extend_to(
+        self,
         store: dict[Hashable, list[T]],
+        kind: str,
         key: Hashable,
         length: int,
         generate: Callable[[], T],
     ) -> list[T]:
         sequence = store.setdefault(key, [])
         while len(sequence) < length:
-            sequence.append(generate())
+            item = generate()
+            if self.journal is not None:
+                self.journal.record_answer(kind, key, len(sequence), item)
+            sequence.append(item)
         return sequence
 
     # ------------------------------------------------------------------
@@ -62,7 +74,7 @@ class AnswerRecorder:
     ) -> list[float]:
         """Answers ``start .. start+count`` for one (object, attribute)."""
         sequence = self._extend_to(
-            self._values, (object_id, attribute), start + count, generate
+            self._values, "value", (object_id, attribute), start + count, generate
         )
         return sequence[start : start + count]
 
@@ -70,7 +82,9 @@ class AnswerRecorder:
         self, attribute: str, start: int, count: int, generate: Callable[[], str]
     ) -> list[str]:
         """Dismantling answers ``start .. start+count`` for one attribute."""
-        sequence = self._extend_to(self._dismantles, attribute, start + count, generate)
+        sequence = self._extend_to(
+            self._dismantles, "dismantle", attribute, start + count, generate
+        )
         return sequence[start : start + count]
 
     def verification_votes(
@@ -83,7 +97,7 @@ class AnswerRecorder:
     ) -> list[bool]:
         """Verification votes ``start .. start+count`` for one pair."""
         sequence = self._extend_to(
-            self._votes, (attribute, candidate), start + count, generate
+            self._votes, "verification", (attribute, candidate), start + count, generate
         )
         return sequence[start : start + count]
 
@@ -95,7 +109,9 @@ class AnswerRecorder:
         generate: Callable[[], ExampleRecord],
     ) -> list[ExampleRecord]:
         """Example records ``start .. start+count`` for one target tuple."""
-        sequence = self._extend_to(self._examples, targets, start + count, generate)
+        sequence = self._extend_to(
+            self._examples, "example", targets, start + count, generate
+        )
         return sequence[start : start + count]
 
     # ------------------------------------------------------------------
@@ -123,6 +139,49 @@ class AnswerRecorder:
             "verification": sum(len(v) for v in self._votes.values()),
             "example": sum(len(v) for v in self._examples.values()),
         }
+
+    def tape_lengths(self) -> dict[str, list]:
+        """JSON-serialisable per-key tape lengths, one list per kind.
+
+        Entry shapes: ``value`` → ``[object, attribute, length]``,
+        ``dismantle`` → ``[attribute, length]``, ``verification`` →
+        ``[attribute, candidate, length]``, ``example`` →
+        ``[[targets...], length]``.  Journal resume markers embed this
+        so replay can rewind to a checkpoint's exact state.
+        """
+        return {
+            "value": [
+                [oid, attr, len(answers)]
+                for (oid, attr), answers in self._values.items()
+            ],
+            "dismantle": [
+                [attr, len(answers)] for attr, answers in self._dismantles.items()
+            ],
+            "verification": [
+                [attr, cand, len(votes)]
+                for (attr, cand), votes in self._votes.items()
+            ],
+            "example": [
+                [list(targets), len(records)]
+                for targets, records in self._examples.items()
+            ],
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable copy of the full recorder state."""
+        return self.to_dict()
+
+    def restore(self, payload: dict) -> None:
+        """Replace all tapes with a :meth:`snapshot` payload (in place).
+
+        Bypasses the journal: restoring a checkpoint re-installs
+        answers that were already journaled when first generated.
+        """
+        other = AnswerRecorder.from_dict(payload)
+        self._values = other._values
+        self._dismantles = other._dismantles
+        self._votes = other._votes
+        self._examples = other._examples
 
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot of every recorded answer."""

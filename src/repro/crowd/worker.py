@@ -102,6 +102,16 @@ class Worker(ABC):
             return str(self._rng.choice(forms))
         return attribute
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the worker's random stream."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore the worker's random stream from :meth:`state_dict`."""
+        self._rng.bit_generator.state = payload["rng"]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(id={self.worker_id})"
 
@@ -196,6 +206,19 @@ class BiasedWorker(HonestWorker):
         if domain.is_binary(attribute):
             answer = float(np.clip(answer, 0.0, 1.0))
         return answer
+
+    def state_dict(self) -> dict:
+        # Biases are drawn lazily from the worker RNG; without them a
+        # restored worker would redraw and shift its random stream.
+        state = super().state_dict()
+        state["biases"] = dict(self._biases)
+        return state
+
+    def restore_state(self, payload: dict) -> None:
+        super().restore_state(payload)
+        self._biases = {
+            str(k): float(v) for k, v in payload.get("biases", {}).items()
+        }
 
 
 class SpamWorker(Worker):

@@ -1,0 +1,87 @@
+"""Atomic phase-boundary checkpoints for the DisQ pipeline.
+
+A checkpoint is one JSON document holding the complete deterministic
+machine state at a phase boundary: planner bookkeeping, the statistics
+store, the crowd platform (cursors, every RNG, budget, ledger,
+recorder), and the allocation when one exists.  Restoring it and
+re-executing the remaining phases reproduces the uninterrupted run
+bit for bit.
+
+Writes are crash-safe: the document is written to a temporary file in
+the same directory and moved into place with :func:`os.replace`, so a
+reader only ever sees the old complete checkpoint or the new complete
+checkpoint — never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+#: Schema version written into every checkpoint document.
+CHECKPOINT_VERSION = 1
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the target directory so the final
+    rename stays on one filesystem and is atomic; it is flushed and
+    fsynced before the rename so a crash immediately after cannot
+    surface an empty file under the final name.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
+    finally:
+        temp.unlink(missing_ok=True)
+
+
+class CheckpointStore:
+    """Load/save JSON checkpoints under one directory, atomically."""
+
+    def __init__(self, directory: str | Path, filename: str) -> None:
+        self.directory = Path(directory)
+        self.filename = filename
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.filename
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, payload: dict) -> None:
+        """Atomically persist one checkpoint document."""
+        document = dict(payload)
+        document.setdefault("version", CHECKPOINT_VERSION)
+        atomic_write_text(self.path, json.dumps(document, sort_keys=True))
+
+    def load(self) -> dict:
+        """Read the checkpoint back, validating its schema version."""
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint at {self.path}") from None
+        except ValueError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(document, dict):
+            raise CheckpointError(f"checkpoint {self.path} is not an object")
+        version = document.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has schema version {version!r}; "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        return document

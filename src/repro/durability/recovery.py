@@ -1,0 +1,145 @@
+"""The crash-safe DisQ entry point: :func:`run_disq`.
+
+Given a checkpoint directory, :func:`run_disq` arranges the full
+durability stack around one :class:`~repro.core.disq.DisQPlanner` run:
+
+* a write-ahead :class:`~repro.durability.journal.Journal` under
+  ``<dir>/journal.jsonl`` receives every crowd interaction before it is
+  applied;
+* a :class:`~repro.durability.checkpoint.CheckpointStore` under
+  ``<dir>/disq.checkpoint.json`` captures the complete deterministic
+  state at every phase boundary;
+* with ``resume=True`` an interrupted run restores the checkpoint and
+  re-executes only the remaining phases — producing a plan, model and
+  ledger bit-identical to a run that never crashed, with zero
+  re-purchased answers (the journal and recorder tapes make replayed
+  questions free).
+
+Without a checkpoint directory the function degrades to a plain
+planner run, so callers can use one code path for both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.disq import DisQParams, DisQPlanner
+from repro.core.model import PreprocessingPlan, Query
+from repro.crowd.platform import CrowdPlatform
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.journal import Journal
+
+#: File names used inside a checkpoint directory.
+CHECKPOINT_FILENAME = "disq.checkpoint.json"
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+@dataclass
+class RecoveredRun:
+    """The outcome of one (possibly resumed) crash-safe planner run.
+
+    Attributes
+    ----------
+    plan:
+        The finished preprocessing plan.
+    planner:
+        The planner that produced it (its forked platform carries the
+        ledger and recorder — useful for audits and the online phase).
+    resumed_from:
+        Phase name the run resumed from, or ``None`` for a fresh run.
+    journal_records:
+        Committed journal records after the run (0 when unjournaled).
+    journal_truncated_bytes:
+        Bytes of torn trailing record the journal discarded on open.
+    checkpoint_path / journal_path:
+        Where the durability artifacts live (``None`` without a
+        checkpoint directory).
+    """
+
+    plan: PreprocessingPlan
+    planner: DisQPlanner
+    resumed_from: str | None = None
+    journal_records: int = 0
+    journal_truncated_bytes: int = 0
+    checkpoint_path: Path | None = None
+    journal_path: Path | None = None
+
+    @property
+    def resumed(self) -> bool:
+        """Whether this run continued an interrupted one."""
+        return self.resumed_from is not None
+
+
+def run_disq(
+    platform: CrowdPlatform,
+    query: Query,
+    b_obj_cents: float,
+    b_prc_cents: float,
+    params: DisQParams | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    chaos: object | None = None,
+) -> RecoveredRun:
+    """Run the DisQ offline phase with optional crash safety.
+
+    With ``checkpoint_dir`` set, every crowd interaction is journaled
+    write-ahead and every phase boundary checkpointed atomically; pass
+    ``resume=True`` after a crash to continue from the saved state.
+    ``chaos`` (a :class:`~repro.durability.chaos.CrashInjector`) kills
+    the run at its configured point; the :class:`SimulatedCrash` it
+    raises propagates to the caller exactly like a process death would.
+    """
+    if checkpoint_dir is None:
+        planner = DisQPlanner(
+            platform, query, b_obj_cents, b_prc_cents, params, chaos=chaos
+        )
+        return RecoveredRun(plan=planner.preprocess(), planner=planner)
+
+    directory = Path(checkpoint_dir)
+    checkpoints = CheckpointStore(directory, CHECKPOINT_FILENAME)
+    journal = Journal(directory / JOURNAL_FILENAME)
+    try:
+        planner = DisQPlanner(
+            platform,
+            query,
+            b_obj_cents,
+            b_prc_cents,
+            params,
+            checkpoints=checkpoints,
+            journal=journal,
+            chaos=chaos,
+            resume=resume,
+        )
+        plan = planner.preprocess()
+        return RecoveredRun(
+            plan=plan,
+            planner=planner,
+            resumed_from=planner.resumed_from,
+            journal_records=journal.record_count,
+            journal_truncated_bytes=journal.truncated_bytes,
+            checkpoint_path=checkpoints.path,
+            journal_path=journal.path,
+        )
+    finally:
+        # Closed even when a (simulated) crash propagates: the journal
+        # is flushed per record, so nothing committed is ever lost.
+        # Detach it from the (shared) recorder too — the online phase
+        # reuses that recorder and must not write to a closed journal;
+        # the journal's scope is the offline B_prc spend.
+        journal.close()
+        if getattr(platform.recorder, "journal", None) is journal:
+            platform.recorder.journal = None
+
+
+def durability_summary(run: RecoveredRun) -> dict:
+    """The manifest ``durability`` section for one run."""
+    summary: dict = {
+        "resumed": run.resumed,
+        "journal_records": run.journal_records,
+    }
+    if run.resumed_from is not None:
+        summary["resumed_from"] = run.resumed_from
+    if run.checkpoint_path is not None:
+        summary["checkpoint"] = str(run.checkpoint_path)
+    return summary

@@ -107,5 +107,27 @@ class ConfigurationError(ReproError):
     """Raised when an algorithm or experiment is configured inconsistently."""
 
 
+class DurabilityError(ReproError):
+    """Base class for crash-safety failures (journal and checkpoints)."""
+
+
+class JournalCorruptionError(DurabilityError):
+    """Raised when a write-ahead journal cannot be replayed.
+
+    A *trailing* half-written record is not corruption — the journal
+    detects it by checksum and truncates it on open.  This error means
+    the damage is unrecoverable: a bad checksum or sequence gap in the
+    middle of the file, or replayed records that contradict each other.
+    """
+
+
+class CheckpointError(DurabilityError):
+    """Raised when a pipeline checkpoint cannot be loaded or applied.
+
+    Typical causes: a schema-version mismatch, or resuming with a
+    different query/budget/seed configuration than the checkpointed run.
+    """
+
+
 class PlanningError(ReproError):
     """Raised when the preprocessing phase cannot produce a valid plan."""

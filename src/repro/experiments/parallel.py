@@ -22,9 +22,11 @@ harness).
 
 from __future__ import annotations
 
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -114,6 +116,44 @@ def _repetition_grid(
     return errors, (obs.metrics.to_dict() if instrument else None)
 
 
+def _repetition_cache_path(cache_dir: Path, repetition: int) -> Path:
+    return cache_dir / f"rep-{repetition}.grid.json"
+
+
+def _load_cached_repetition(
+    cache_dir: Path, repetition: int
+) -> tuple[list[list[float | None]], dict | None] | None:
+    """A cached repetition outcome, or ``None`` if absent/unreadable.
+
+    An unreadable cache file (torn write from a crash — the writes are
+    atomic, so this is belt-and-braces) is treated as missing: the
+    repetition simply reruns, which is always safe because repetitions
+    are deterministic and independent.
+    """
+    path = _repetition_cache_path(cache_dir, repetition)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        return payload["errors"], payload.get("metrics")
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return None
+
+
+def _store_cached_repetition(
+    cache_dir: Path,
+    repetition: int,
+    outcome: tuple[list[list[float | None]], dict | None],
+) -> None:
+    from repro.durability.checkpoint import atomic_write_text
+
+    errors, metrics = outcome
+    atomic_write_text(
+        _repetition_cache_path(cache_dir, repetition),
+        json.dumps({"errors": errors, "metrics": metrics}, sort_keys=True),
+    )
+
+
 def _merge_errors(per_repetition: list[float | None]) -> float:
     """Average one cell's repetition errors exactly as the serial path.
 
@@ -134,6 +174,8 @@ def run_grid(
     config: ExperimentConfig,
     parallel: ParallelConfig | None = None,
     obs: Observability | None = None,
+    cache_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> dict[tuple[int, str], float]:
     """Mean error per (point index, algorithm) over all repetitions.
 
@@ -149,8 +191,17 @@ def run_grid(
     totals may differ from serial in the last ulp (different addition
     order).  Worker-side tracer spans are not shipped back — phase
     timing across processes is not meaningfully mergeable.
+
+    ``cache_dir`` persists each repetition's outcome atomically as it
+    completes; with ``resume`` cached repetitions are loaded instead of
+    rerun, so an interrupted grid only pays for the repetitions it
+    never finished.  Repetitions are deterministic, so cached and rerun
+    outcomes are interchangeable.
     """
     instrument = obs is not None and obs.metrics.enabled
+    cache = Path(cache_dir) if cache_dir is not None else None
+    if cache is not None:
+        cache.mkdir(parents=True, exist_ok=True)
     tasks = [
         (
             tuple(algorithms),
@@ -163,12 +214,27 @@ def run_grid(
         )
         for repetition in range(config.repetitions)
     ]
-    workers = (parallel or ParallelConfig(max_workers=1)).resolve(len(tasks))
+    cached: dict[int, tuple[list[list[float | None]], dict | None]] = {}
+    if cache is not None and resume:
+        for repetition in range(config.repetitions):
+            loaded = _load_cached_repetition(cache, repetition)
+            if loaded is not None:
+                cached[repetition] = loaded
+    pending = [task for task in tasks if task[5] not in cached]
+    workers = (parallel or ParallelConfig(max_workers=1)).resolve(
+        max(1, len(pending))
+    )
     if workers <= 1:
-        outcomes = [_repetition_grid(task) for task in tasks]
+        fresh = [_repetition_grid(task) for task in pending]
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
-            outcomes = list(executor.map(_repetition_grid, tasks))
+            fresh = list(executor.map(_repetition_grid, pending))
+    for task, outcome in zip(pending, fresh):
+        cached[task[5]] = outcome
+        if cache is not None:
+            _store_cached_repetition(cache, task[5], outcome)
+    # Merge in repetition order regardless of cached/fresh provenance.
+    outcomes = [cached[repetition] for repetition in range(config.repetitions)]
     per_repetition = [errors for errors, _ in outcomes]
     if instrument:
         for _, payload in outcomes:  # repetition order, deterministic

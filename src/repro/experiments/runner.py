@@ -24,9 +24,32 @@ from repro.core.online import OnlineEvaluator, default_weights, query_error
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
 from repro.domains.base import Domain
-from repro.errors import PlanningError
+from repro.errors import ConfigurationError, PlanningError
 from repro.experiments.config import ExperimentConfig, algorithm
 from repro.obs import NULL_OBS, Observability
+
+
+def dump_recorders(recorders: list[AnswerRecorder]) -> list[dict]:
+    """JSON-serialisable snapshots of per-repetition recorders.
+
+    The sweep checkpoint (:class:`~repro.experiments.sweeps.
+    SweepCheckpoint`) persists these after every completed cell so a
+    resumed sweep replays the exact answers the interrupted one bought.
+    """
+    return [recorder.to_dict() for recorder in recorders]
+
+
+def restore_recorders(
+    recorders: list[AnswerRecorder], payloads: list[dict]
+) -> None:
+    """Restore :func:`dump_recorders` output onto fresh recorders."""
+    if len(recorders) != len(payloads):
+        raise ConfigurationError(
+            f"checkpoint holds {len(payloads)} repetition recorders, "
+            f"this sweep needs {len(recorders)} — repetitions changed?"
+        )
+    for recorder, payload in zip(recorders, payloads):
+        recorder.restore(payload)
 
 
 @dataclass(frozen=True)

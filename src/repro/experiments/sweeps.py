@@ -19,15 +19,22 @@ parallel axis compatible with the shared-recorder replay semantics.
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Sequence
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.model import Query
 from repro.crowd.recording import AnswerRecorder
 from repro.domains.base import Domain
+from repro.errors import CheckpointError, ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_averaged
+from repro.experiments.runner import (
+    dump_recorders,
+    restore_recorders,
+    run_averaged,
+)
 
 if TYPE_CHECKING:
     from repro.experiments.parallel import ParallelConfig
@@ -35,6 +42,77 @@ if TYPE_CHECKING:
 
 #: A sweep result: algorithm -> list of (budget, mean error) points.
 SweepSeries = dict[str, list[tuple[float, float]]]
+
+#: Bumped whenever the sweep-checkpoint layout changes.
+SWEEP_CHECKPOINT_VERSION = 1
+
+
+class SweepCheckpoint:
+    """Cell-level resume state for a serial budget sweep.
+
+    A sweep is a grid of (axis value, algorithm) cells over shared
+    per-repetition recorders.  After each completed cell the checkpoint
+    atomically persists the cell's mean error plus every recorder's
+    full answer tape; a resumed sweep restores the recorders, skips the
+    finished cells, and — because later cells replay earlier cells'
+    answers from the recorders — produces the identical series a never-
+    interrupted sweep would, without re-buying a single answer.
+    """
+
+    def __init__(self, directory: str | Path, axis: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / f"{axis}.sweep.json"
+        self._done: dict[str, float] = {}
+
+    @staticmethod
+    def cell_key(name: str, axis_value: float) -> str:
+        return f"{name}@{axis_value!r}"
+
+    def resume_into(self, recorders: list[AnswerRecorder]) -> dict[str, float]:
+        """Load saved state, restoring ``recorders``; returns done cells.
+
+        Missing file means nothing to resume (empty dict).  A version
+        or repetition-count mismatch raises
+        :class:`~repro.errors.CheckpointError` — silently mixing
+        incompatible answer tapes would corrupt the series.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"unreadable sweep checkpoint {self.path}: {exc}"
+            ) from exc
+        if payload.get("version") != SWEEP_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"sweep checkpoint {self.path} has version "
+                f"{payload.get('version')!r}, expected {SWEEP_CHECKPOINT_VERSION}"
+            )
+        try:
+            restore_recorders(recorders, payload["recorders"])
+        except ConfigurationError as exc:
+            raise CheckpointError(str(exc)) from exc
+        self._done = {
+            str(key): float(value) for key, value in payload["done"].items()
+        }
+        return dict(self._done)
+
+    def mark_done(
+        self, key: str, error: float, recorders: list[AnswerRecorder]
+    ) -> None:
+        """Record one finished cell and persist atomically."""
+        from repro.durability.checkpoint import atomic_write_text
+
+        self._done[key] = float(error)
+        payload = {
+            "version": SWEEP_CHECKPOINT_VERSION,
+            "done": self._done,
+            "recorders": dump_recorders(recorders),
+        }
+        # allow_nan keeps math.inf (all-infeasible cells) round-trippable.
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
 
 
 def _shared_recorders(config: ExperimentConfig) -> list[AnswerRecorder]:
@@ -56,12 +134,15 @@ def _parallel_series(
     config: ExperimentConfig,
     parallel: "ParallelConfig",
     obs: "Observability | None" = None,
+    cache_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepSeries:
     """Run the grid through the parallel engine and shape the series."""
     from repro.experiments.parallel import run_grid
 
     merged = run_grid(
-        algorithms, domain, query, points, config, parallel, obs=obs
+        algorithms, domain, query, points, config, parallel, obs=obs,
+        cache_dir=cache_dir, resume=resume,
     )
     return {
         name: [
@@ -70,6 +151,53 @@ def _parallel_series(
         ]
         for name in algorithms
     }
+
+
+def _serial_sweep(
+    algorithms: Sequence[str],
+    domain: Domain,
+    query: Query,
+    cells: list[tuple[float, float, float]],
+    config: ExperimentConfig,
+    obs: "Observability | None",
+    axis: str,
+    checkpoint_dir: str | Path | None,
+    resume: bool,
+) -> SweepSeries:
+    """The shared serial sweep loop over ``(axis_value, b_obj, b_prc)``.
+
+    With ``checkpoint_dir`` each finished cell is persisted (error +
+    recorder tapes); with ``resume`` previously finished cells are
+    skipped and their errors read back, on recorders restored to the
+    exact post-cell state — the resumed series is identical to an
+    uninterrupted one.
+    """
+    recorders = _shared_recorders(config)
+    checkpoint = (
+        SweepCheckpoint(checkpoint_dir, axis)
+        if checkpoint_dir is not None
+        else None
+    )
+    done = (
+        checkpoint.resume_into(recorders)
+        if checkpoint is not None and resume
+        else {}
+    )
+    series: SweepSeries = {name: [] for name in algorithms}
+    for axis_value, b_obj, b_prc in cells:
+        for name in algorithms:
+            key = SweepCheckpoint.cell_key(name, axis_value)
+            if key in done:
+                error = done[key]
+            else:
+                error = run_averaged(
+                    name, domain, query, b_obj, b_prc, config, recorders,
+                    obs=obs,
+                )
+                if checkpoint is not None:
+                    checkpoint.mark_done(key, error, recorders)
+            series[name].append((axis_value, error))
+    return series
 
 
 def sweep_b_prc(
@@ -81,24 +209,21 @@ def sweep_b_prc(
     config: ExperimentConfig,
     parallel: "ParallelConfig | None" = None,
     obs: "Observability | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> SweepSeries:
     """Error versus preprocessing budget at fixed ``B_obj``."""
     if parallel is not None:
         points = [(b_obj_cents, b_prc) for b_prc in b_prc_values]
         return _parallel_series(
             algorithms, domain, query, points, b_prc_values, config, parallel,
-            obs=obs,
+            obs=obs, cache_dir=checkpoint_dir, resume=resume,
         )
-    recorders = _shared_recorders(config)
-    series: SweepSeries = {name: [] for name in algorithms}
-    for b_prc in b_prc_values:
-        for name in algorithms:
-            error = run_averaged(
-                name, domain, query, b_obj_cents, b_prc, config, recorders,
-                obs=obs,
-            )
-            series[name].append((b_prc, error))
-    return series
+    cells = [(b_prc, b_obj_cents, b_prc) for b_prc in b_prc_values]
+    return _serial_sweep(
+        algorithms, domain, query, cells, config, obs,
+        "b_prc", checkpoint_dir, resume,
+    )
 
 
 def sweep_b_obj(
@@ -110,24 +235,21 @@ def sweep_b_obj(
     config: ExperimentConfig,
     parallel: "ParallelConfig | None" = None,
     obs: "Observability | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> SweepSeries:
     """Error versus per-object budget at fixed ``B_prc``."""
     if parallel is not None:
         points = [(b_obj, b_prc_cents) for b_obj in b_obj_values]
         return _parallel_series(
             algorithms, domain, query, points, b_obj_values, config, parallel,
-            obs=obs,
+            obs=obs, cache_dir=checkpoint_dir, resume=resume,
         )
-    recorders = _shared_recorders(config)
-    series: SweepSeries = {name: [] for name in algorithms}
-    for b_obj in b_obj_values:
-        for name in algorithms:
-            error = run_averaged(
-                name, domain, query, b_obj, b_prc_cents, config, recorders,
-                obs=obs,
-            )
-            series[name].append((b_obj, error))
-    return series
+    cells = [(b_obj, b_obj, b_prc_cents) for b_obj in b_obj_values]
+    return _serial_sweep(
+        algorithms, domain, query, cells, config, obs,
+        "b_obj", checkpoint_dir, resume,
+    )
 
 
 def required_budget(

@@ -28,6 +28,7 @@ uploaded manifests against.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -122,6 +123,16 @@ MANIFEST_SCHEMA = {
                 "degradations": {"type": "integer"},
             },
         },
+        "durability": {
+            "type": "object",
+            "required": ["resumed", "journal_records"],
+            "properties": {
+                "resumed": {"type": "boolean"},
+                "journal_records": {"type": "integer"},
+                "resumed_from": {"type": "string"},
+                "checkpoint": {"type": "string"},
+            },
+        },
         "counters": _NUMBER_MAP,
         "gauges": _NUMBER_MAP,
         "extra": {"type": "object"},
@@ -190,6 +201,7 @@ def build_manifest(
     plan=None,
     extra: dict | None = None,
     created_at: float | None = None,
+    durability: dict | None = None,
 ) -> dict:
     """Assemble a run manifest from an :class:`~repro.obs.Observability`.
 
@@ -209,6 +221,9 @@ def build_manifest(
     created_at:
         Unix timestamp override (defaults to now); pin it in tests that
         compare manifests byte-for-byte.
+    durability:
+        Optional resume-provenance section, as produced by
+        :func:`~repro.durability.recovery.durability_summary`.
     """
     metrics = obs.metrics
     manifest = {
@@ -237,6 +252,8 @@ def build_manifest(
         manifest["plan"] = plan_summary(plan)
     if extra is not None:
         manifest["extra"] = dict(extra)
+    if durability is not None:
+        manifest["durability"] = dict(durability)
     validate_manifest(manifest)
     return manifest
 
@@ -309,12 +326,36 @@ def validate_manifest(manifest: dict, schema: dict | None = None) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via write-temp-then-rename.
+
+    A reader (or a crash) can only ever observe the old complete file or
+    the new complete file, never a partial write.
+    """
+    temp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
+
+
 def write_manifest(path: str | Path, manifest: dict) -> Path:
-    """Validate and write ``manifest`` as pretty JSON; returns the path."""
+    """Validate and atomically write ``manifest`` as pretty JSON.
+
+    The write goes through a same-directory temp file and
+    ``os.replace`` so a crash mid-write never leaves a torn manifest
+    where CI (or a resumed run) would read it.
+    """
     validate_manifest(manifest)
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(
+        target, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
     return target
 
 

@@ -1,5 +1,6 @@
 """Integration tests for budget-split tuning and the CLI."""
 
+import json
 import math
 
 import numpy as np
@@ -134,3 +135,99 @@ class TestCli:
         )
         assert code == 0
         assert "best: B_obj=" in capsys.readouterr().out
+
+
+class TestCliDurability:
+    PLAN = [
+        "plan",
+        "--domain", "synthetic",
+        "--target", "attr_00",
+        "--n-objects", "60",
+        "--n1", "12",
+        "--b-obj", "4",
+        "--b-prc", "400",
+        "--seed", "3",
+    ]
+
+    def test_exit_codes_are_distinct_and_nonzero(self):
+        from repro.cli import EXIT_CONFIGURATION_ERROR, EXIT_CRASH
+
+        assert EXIT_CONFIGURATION_ERROR != 0
+        assert EXIT_CRASH != 0
+        assert EXIT_CONFIGURATION_ERROR != EXIT_CRASH
+
+    def test_configuration_error_exit_code(self, capsys):
+        from repro.cli import EXIT_CONFIGURATION_ERROR, main
+
+        code = main(self.PLAN + ["--resume"])
+        assert code == EXIT_CONFIGURATION_ERROR
+        err = capsys.readouterr().err
+        assert "configuration error" in err
+        assert "--resume requires --checkpoint-dir" in err
+
+    def test_crash_exit_code_and_resume_hint(self, tmp_path, capsys):
+        from repro.cli import EXIT_CRASH, main
+
+        argv = self.PLAN + [
+            "--checkpoint-dir", str(tmp_path), "--chaos-after", "60",
+        ]
+        code = main(argv)
+        assert code == EXIT_CRASH
+        err = capsys.readouterr().err
+        assert "crashed: simulated crash" in err
+        assert "resume with: python -m repro plan" in err
+        assert "--resume" in err
+        # The hint must not re-inject the crash.
+        assert "--chaos-after" not in err
+
+    def test_crash_without_checkpoint_state_prints_no_hint(self, capsys):
+        from repro.cli import EXIT_CRASH, main
+
+        code = main(self.PLAN + ["--chaos-after", "60"])
+        assert code == EXIT_CRASH
+        assert "resume with:" not in capsys.readouterr().err
+
+    def test_crash_then_resume_completes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        checkpoint = str(tmp_path / "ck")
+        manifest = str(tmp_path / "manifest.json")
+        assert main(self.PLAN + [
+            "--checkpoint-dir", checkpoint, "--chaos-after", "60",
+        ]) != 0
+        capsys.readouterr()
+        code = main(self.PLAN + [
+            "--checkpoint-dir", checkpoint, "--resume",
+            "--manifest", manifest,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint after phase:" in out
+        assert "plan for targets attr_00" in out
+        payload = json.loads(open(manifest).read())
+        assert payload["durability"]["resumed"] is True
+        assert payload["durability"]["journal_records"] > 0
+
+    def test_sweep_checkpoint_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "sweep",
+            "--domain", "synthetic",
+            "--target", "attr_00",
+            "--n-objects", "60",
+            "--n1", "12",
+            "--axis", "b_prc",
+            "--values", "300,400",
+            "--b-obj", "4",
+            "--objects", "20",
+            "--repetitions", "1",
+            "--algorithms", "NaiveAverage",
+            "--seed", "3",
+            "--checkpoint-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        # All cells replayed from the checkpoint: identical series.
+        assert capsys.readouterr().out == first

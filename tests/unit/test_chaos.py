@@ -1,0 +1,43 @@
+"""Unit tests for the crash injector (chaos harness)."""
+
+import pytest
+
+from repro.durability.chaos import CrashInjector, SimulatedCrash
+from repro.errors import ConfigurationError, ReproError
+
+
+class TestCrashInjector:
+    def test_crashes_when_interaction_threshold_crossed(self):
+        injector = CrashInjector(at_interactions=5)
+        injector.note_interactions(3)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.note_interactions(2)
+        assert excinfo.value.interactions == 5
+        assert injector.crashed
+
+    def test_crashes_at_most_once(self):
+        injector = CrashInjector(at_interactions=1)
+        with pytest.raises(SimulatedCrash):
+            injector.note_interactions(1)
+        injector.note_interactions(10)  # no second crash
+
+    def test_crashes_at_phase_boundary(self):
+        injector = CrashInjector(at_phase="statistics")
+        injector.phase_boundary("examples")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.phase_boundary("statistics")
+        assert "statistics" in excinfo.value.where
+        injector.phase_boundary("statistics")  # fires at most once
+
+    def test_simulated_crash_is_not_a_repro_error(self):
+        # Must escape the planner's ReproError/fault catch blocks like a
+        # real process death would.
+        assert not issubclass(SimulatedCrash, ReproError)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CrashInjector(at_interactions=0)
+        with pytest.raises(ConfigurationError):
+            CrashInjector(at_phase="shipping")
+        with pytest.raises(ConfigurationError):
+            CrashInjector()

@@ -1,0 +1,85 @@
+"""Unit tests for atomic checkpoint writes and the checkpoint store."""
+
+import json
+import os
+
+import pytest
+
+from repro.durability.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    atomic_write_text,
+)
+from repro.errors import CheckpointError
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "content")
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.json"
+        path.write_text("original")
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "replacement")
+        # Old file intact, temp cleaned up.
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, "c.json")
+        store.save({"phase": "examples", "data": [1, 2]})
+        payload = store.load()
+        assert payload["phase"] == "examples"
+        assert payload["data"] == [1, 2]
+        assert payload["version"] == CHECKPOINT_VERSION
+
+    def test_exists(self, tmp_path):
+        store = CheckpointStore(tmp_path, "c.json")
+        assert not store.exists()
+        store.save({})
+        assert store.exists()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path, "c.json").load()
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "c.json")
+        store.path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_load_version_mismatch_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, "c.json")
+        store.path.write_text(json.dumps({"version": CHECKPOINT_VERSION + 1}))
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_save_is_atomic(self, tmp_path):
+        store = CheckpointStore(tmp_path, "c.json")
+        store.save({"phase": "examples"})
+        store.save({"phase": "statistics"})
+        # Only the final complete file remains, no temp residue.
+        assert os.listdir(tmp_path) == ["c.json"]
+        assert store.load()["phase"] == "statistics"

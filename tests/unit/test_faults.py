@@ -333,3 +333,41 @@ class TestResilienceReport:
         assert "5 timeouts" in text
         assert "[3, 9]" in text
         assert "salvaged plan" in text
+
+
+# ----------------------------------------------------------------------
+# Non-finite configuration values (NaN/inf)
+# ----------------------------------------------------------------------
+
+
+class TestNonFiniteRejection:
+    def test_clock_rejects_nan_and_inf_advance(self):
+        # NaN passes a plain `< 0` guard; it must still be rejected.
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ConfigurationError):
+                SimulatedClock().advance(bad)
+
+    def test_clock_rejects_non_finite_start(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock(start=math.nan)
+
+    def test_fault_rates_reject_non_finite(self):
+        for field in ("timeout", "abandon", "garbage"):
+            for bad in (math.nan, math.inf):
+                with pytest.raises(ConfigurationError):
+                    FaultRates(**{field: bad})
+        with pytest.raises(ConfigurationError):
+            FaultRates(latency_mean=math.nan)
+
+    def test_retry_policy_rejects_non_finite(self):
+        for kwargs in (
+            {"max_retries": math.nan},
+            {"base_delay": math.nan},
+            {"base_delay": math.inf},
+            {"max_delay": math.nan},
+            {"question_timeout": math.nan},
+            {"multiplier": math.inf},
+            {"jitter": math.nan},
+        ):
+            with pytest.raises(ConfigurationError):
+                RetryPolicy(**kwargs)

@@ -153,3 +153,81 @@ class TestFileRoundtrip:
         path.write_text(json.dumps({"schema_version": 1}))
         with pytest.raises(ConfigurationError):
             load_manifest(path)
+
+
+class TestAtomicWrites:
+    def _valid_manifest(self):
+        return build_manifest("atomic-test", NULL_OBS)
+
+    def test_no_temp_residue_after_write(self, tmp_path):
+        import os
+
+        path = tmp_path / "manifest.json"
+        write_manifest(path, self._valid_manifest())
+        assert os.listdir(tmp_path) == ["manifest.json"]
+
+    def test_simulated_crash_mid_write_leaves_old_or_valid(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "manifest.json"
+        write_manifest(path, self._valid_manifest())
+        original = path.read_text()
+
+        # Crash between writing the temp file and renaming it: the
+        # published manifest must still be the old, complete one.
+        def explode(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_manifest(path, build_manifest("second", NULL_OBS))
+        assert path.read_text() == original
+        assert os.listdir(tmp_path) == ["manifest.json"]
+        # And what is on disk always validates.
+        load_manifest(path)
+
+    def test_fresh_write_crash_leaves_nothing(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "manifest.json"
+
+        def explode(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_manifest(path, self._valid_manifest())
+        # Either absent or valid — never truncated garbage.
+        assert not path.exists()
+        assert os.listdir(tmp_path) == []
+
+
+class TestDurabilitySection:
+    def test_round_trips_through_build_and_validate(self):
+        manifest = build_manifest(
+            "durable",
+            NULL_OBS,
+            durability={
+                "resumed": True,
+                "journal_records": 630,
+                "resumed_from": "allocate",
+                "checkpoint": "/tmp/ck/disq.checkpoint.json",
+            },
+        )
+        assert manifest["durability"]["resumed"] is True
+        validate_manifest(manifest)
+
+    def test_minimal_section_is_valid(self):
+        manifest = build_manifest(
+            "durable", NULL_OBS,
+            durability={"resumed": False, "journal_records": 0},
+        )
+        validate_manifest(manifest)
+
+    def test_missing_required_keys_rejected(self):
+        manifest = build_manifest("durable", NULL_OBS)
+        manifest["durability"] = {"resumed": True}
+        errors = manifest_errors(manifest)
+        assert any("journal_records" in e for e in errors)

@@ -57,6 +57,18 @@ class TestBudget:
         assert budget.spent == pytest.approx(4.0)
         assert budget.remaining == pytest.approx(6.0)
 
+    def test_restore_spent(self):
+        budget = Budget(10.0)
+        budget.restore_spent(7.5)
+        assert budget.spent == pytest.approx(7.5)
+        assert budget.remaining == pytest.approx(2.5)
+
+    def test_restore_spent_rejects_bad_values(self):
+        budget = Budget(10.0)
+        for bad in (-1.0, 11.0, float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                budget.restore_spent(bad)
+
     def test_charge_beyond_budget_raises(self):
         budget = Budget(1.0)
         with pytest.raises(BudgetExhaustedError) as excinfo:
@@ -124,5 +136,47 @@ class TestCostLedger:
     def test_snapshot_is_a_copy(self):
         ledger = CostLedger()
         snapshot = ledger.snapshot()
-        snapshot["value"] = 99.0
+        snapshot["spent_by_category"]["value"] = 99.0
+        snapshot["questions_by_category"]["value"] = 7
         assert ledger.spent_by_category["value"] == 0.0
+        assert ledger.questions_by_category["value"] == 0
+
+    def test_snapshot_restore_round_trip(self):
+        ledger = CostLedger()
+        ledger.record("value", 0.8, 2)
+        ledger.record("dismantle", 1.5, 1)
+        ledger.record_retry("value", 3)
+        ledger.record_abandon("example")
+        snapshot = ledger.snapshot()
+        other = CostLedger()
+        other.restore(snapshot)
+        assert other.snapshot() == snapshot
+        assert other.total_spent == pytest.approx(ledger.total_spent)
+        assert other.total_questions == ledger.total_questions
+        assert other.total_retries == ledger.total_retries
+        assert other.total_abandons == ledger.total_abandons
+
+    def test_restore_does_not_echo_into_journal(self):
+        events = []
+
+        class FakeJournal:
+            def record_ledger(self, event, category, cost=0.0, count=1):
+                events.append((event, category, cost, count))
+
+        ledger = CostLedger(journal=FakeJournal())
+        ledger.record("value", 0.4, 1)
+        assert events == [("charge", "value", 0.4, 1)]
+        ledger.restore(ledger.snapshot())
+        assert len(events) == 1
+
+    def test_journal_written_before_mutation(self):
+        class ExplodingJournal:
+            def record_ledger(self, *args, **kwargs):
+                raise RuntimeError("disk full")
+
+        ledger = CostLedger(journal=ExplodingJournal())
+        with pytest.raises(RuntimeError):
+            ledger.record("value", 0.4, 1)
+        # Write-ahead: the failed journal write left the ledger untouched.
+        assert ledger.total_spent == 0.0
+        assert ledger.total_questions == 0
