@@ -20,7 +20,6 @@ Usage: ``PYTHONPATH=src:. python benchmarks/bench_crash.py``
 from __future__ import annotations
 
 import tempfile
-from pathlib import Path
 
 from benchmarks.common import OUT_DIR, write_report
 from repro.core.disq import DisQParams

@@ -154,7 +154,6 @@ def test_optimism_ablation(benchmark):
     """
     import numpy as np
 
-    from repro.core.model import Query
     from repro.core.online import OnlineEvaluator, query_error
     from repro.crowd.platform import CrowdPlatform
     from repro.crowd.recording import AnswerRecorder

@@ -1,0 +1,249 @@
+"""Serving-engine benchmark: answers saved vs. query overlap.
+
+Two queries over the same target share some of their object windows;
+the serving engine's shared answer cache plus cross-query batching
+should turn every shared object into purchased-once answers.  This
+bench sweeps the Jaccard overlap ``|A ∩ B| / |A ∪ B|`` of a two-query
+workload and reports, per point:
+
+* the value-question spend of two *independent* ``evaluate`` calls
+  (fresh cache each — the pre-serving-engine behaviour);
+* the spend of the same workload through :class:`repro.serve.engine.
+  ServeEngine`;
+* the saving percentage and answers served from cache.
+
+Built-in correctness gates (hard failures, not just numbers):
+
+* the serve run's estimates for the first query are **byte-identical**
+  to the independent baseline run;
+* ``--workers 1`` and ``--workers 4`` produce identical reports and
+  identical ledger spend;
+* at 50% overlap the spend reduction is at least 30%.
+
+Results land in ``BENCH_serve.json`` at the repo root (CI's
+``serve-smoke`` job and EXPERIMENTS.md quote it)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core.disq import DisQParams
+from repro.core.online import OnlineEvaluator
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.durability import run_disq
+from repro.experiments.runner import make_query
+from repro.serve import CachedAnswerSource, QueryRequest, ServeEngine
+
+from common import recipes_domain, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+SEED = 3
+TARGET = "protein"
+
+
+def overlap_windows(m: int, jaccard: float) -> tuple[range, range]:
+    """Two ``m``-object windows with the requested Jaccard overlap.
+
+    Shared count ``s`` solves ``s / (2m - s) = jaccard``.
+    """
+    shared = round(2 * m * jaccard / (1 + jaccard))
+    return range(0, m), range(m - shared, 2 * m - shared)
+
+
+def make_plan(b_prc: float, n1: int):
+    """One DisQ plan for the bench target (planning spend excluded)."""
+    domain = recipes_domain()
+    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=SEED)
+    run = run_disq(
+        platform, make_query(domain, (TARGET,)), 4.0, b_prc, DisQParams(n1=n1)
+    )
+    return run.plan
+
+
+def fresh_platform() -> CrowdPlatform:
+    return CrowdPlatform(
+        recipes_domain(), recorder=AnswerRecorder(), seed=SEED
+    )
+
+
+def independent_run(plan, objects) -> tuple[dict, float]:
+    """One query evaluated alone with a private cache; (estimates, spend)."""
+    platform = fresh_platform()
+    source = CachedAnswerSource(platform)
+    estimates = OnlineEvaluator(platform, plan, answer_source=source).evaluate(
+        objects
+    )
+    return estimates, platform.ledger.spent_by_category["value"]
+
+
+def serve_run(plan, windows, workers: int):
+    """The same workload through the engine; (report, value spend)."""
+    platform = fresh_platform()
+    engine = ServeEngine(platform, workers=workers)
+    for index, window in enumerate(windows):
+        engine.submit(
+            QueryRequest(f"q{index}", (TARGET,), tuple(window)), plan
+        )
+    report = engine.run()
+    return report, platform.ledger.spent_by_category["value"]
+
+
+def comparable(report) -> dict:
+    """Report dict minus wall-clock fields (those legitimately vary)."""
+    payload = report.to_dict()
+    payload.pop("wall_seconds")
+    payload.pop("workers")
+    return payload
+
+
+def sweep_overlaps(plan, overlaps, m: int) -> list[dict]:
+    rows = []
+    for jaccard in overlaps:
+        window_a, window_b = overlap_windows(m, jaccard)
+        est_a, spend_a = independent_run(plan, window_a)
+        est_b, spend_b = independent_run(plan, window_b)
+        baseline = spend_a + spend_b
+        report, serve_spend = serve_run(plan, (window_a, window_b), workers=1)
+        saving = 1.0 - serve_spend / baseline if baseline else 0.0
+        identical = bool(
+            np.array_equal(
+                np.array(report.result("q0").estimates[TARGET]),
+                est_a[TARGET],
+            )
+        )
+        if not identical:
+            raise SystemExit(
+                f"FAIL: serve estimates diverge from the independent "
+                f"baseline at overlap {jaccard}"
+            )
+        rows.append(
+            {
+                "jaccard_overlap": jaccard,
+                "objects_per_query": m,
+                "shared_objects": len(set(window_a) & set(window_b)),
+                "baseline_spend_cents": baseline,
+                "serve_spend_cents": serve_spend,
+                "saving_pct": 100.0 * saving,
+                "answers_saved": report.saved_answers,
+                "coalesced_questions": report.coalesced_questions,
+                "baseline_query_identical": identical,
+            }
+        )
+    return rows
+
+
+def check_determinism(plan, m: int, worker_counts=(1, 4)) -> dict:
+    """Same workload under several worker counts must match exactly."""
+    windows = overlap_windows(m, 0.5)
+    reference = None
+    reference_spend = None
+    throughput = {}
+    for workers in worker_counts:
+        started = time.perf_counter()
+        report, spend = serve_run(plan, windows, workers=workers)
+        throughput[f"workers_{workers}_wall_s"] = time.perf_counter() - started
+        payload = comparable(report)
+        if reference is None:
+            reference, reference_spend = payload, spend
+        elif payload != reference or spend != reference_spend:
+            raise SystemExit(
+                f"FAIL: workers={workers} diverges from workers="
+                f"{worker_counts[0]}"
+            )
+        throughput[f"workers_{workers}_qps"] = report.queries_per_second
+    return {
+        "worker_counts": list(worker_counts),
+        "identical_reports": True,
+        "identical_spend": True,
+        **throughput,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized variant (fewer points)"
+    )
+    args = parser.parse_args()
+    if args.quick:
+        overlaps, m, b_prc, n1 = (0.0, 0.5), 30, 800.0, 40
+    else:
+        overlaps, m, b_prc, n1 = (0.0, 0.25, 0.5, 0.75), 60, 1500.0, 60
+
+    plan = make_plan(b_prc, n1)
+    rows = sweep_overlaps(plan, overlaps, m)
+    determinism = check_determinism(plan, m)
+
+    at_half = next(r for r in rows if r["jaccard_overlap"] == 0.5)
+    if at_half["saving_pct"] < 30.0:
+        raise SystemExit(
+            f"FAIL: saving at 50% overlap is {at_half['saving_pct']:.1f}% "
+            f"(< 30% gate)"
+        )
+
+    lines = [
+        "serving engine: value-question spend vs. query overlap "
+        f"(two {m}-object queries, target {TARGET!r})",
+        f"{'overlap':>8} {'baseline(c)':>12} {'serve(c)':>10} "
+        f"{'saving':>8} {'saved answers':>14}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['jaccard_overlap']:>8.2f} "
+            f"{row['baseline_spend_cents']:>12.1f} "
+            f"{row['serve_spend_cents']:>10.1f} "
+            f"{row['saving_pct']:>7.1f}% "
+            f"{row['answers_saved']:>14d}"
+        )
+    lines.append(
+        f"determinism: workers {determinism['worker_counts']} identical; "
+        f"saving gate at 50% overlap: "
+        f"{at_half['saving_pct']:.1f}% >= 30%"
+    )
+    write_report("bench_serve", "\n".join(lines))
+
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "config": {
+                    "domain": "recipes",
+                    "target": TARGET,
+                    "objects_per_query": m,
+                    "b_prc_cents": b_prc,
+                    "n1": n1,
+                    "seed": SEED,
+                    "quick": args.quick,
+                },
+                "overlap_sweep": rows,
+                "determinism": determinism,
+                "gates": {
+                    "saving_at_half_overlap_pct": at_half["saving_pct"],
+                    "saving_floor_pct": 30.0,
+                    "baseline_identical": True,
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"results written to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

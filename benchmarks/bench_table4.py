@@ -10,7 +10,6 @@ exactly as the paper's thesaurus step does).
 from collections import Counter
 
 from benchmarks.common import (
-    BENCH_CONFIG,
     bench_obs,
     pictures_domain,
     recipes_domain,

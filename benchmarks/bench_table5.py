@@ -15,7 +15,6 @@ check the estimates against the domain's ground truth:
 import numpy as np
 
 from benchmarks.common import (
-    BENCH_CONFIG,
     bench_obs,
     pictures_domain,
     recipes_domain,
@@ -62,7 +61,6 @@ def statistics_table(domain, targets, attributes, store):
             row.append(abs(rho) if rho is not None else float("nan"))
         for other in attributes:
             entry = store.s_a_entry(attribute, other)
-            sigma = store.answer_sigma(attribute) * store.answer_sigma(other)
             denoised = np.sqrt(
                 store.s_a_entry(attribute, attribute)
                 * store.s_a_entry(other, other)

@@ -22,9 +22,8 @@ import math
 import sys
 from pathlib import Path
 
-from repro.core.disq import DisQParams, DisQPlanner
-from repro.core.online import OnlineEvaluator, default_weights, query_error
-from repro.core.model import Query
+from repro.core.disq import DisQParams
+from repro.core.online import OnlineEvaluator, query_error
 from repro.core.tuning import optimize_budget_split
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
@@ -48,6 +47,7 @@ from repro.experiments import (
 from repro.experiments.runner import make_query
 from repro.obs import NULL_OBS, Observability
 from repro.obs.manifest import build_manifest, write_manifest
+from repro.serve import ServeEngine, load_query_file
 
 #: Exit code for bad configuration (flags, budgets, checkpoint mismatch).
 EXIT_CONFIGURATION_ERROR = 2
@@ -248,6 +248,65 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a query workload through the batched engine."""
+    import json
+
+    _check_durability_flags(args)
+    obs = _make_obs(args)
+    domain = DOMAINS[args.domain](n_objects=args.n_objects, seed=args.seed)
+    platform = CrowdPlatform(
+        domain, recorder=AnswerRecorder(), seed=args.seed, obs=obs
+    )
+    requests = load_query_file(args.queries)
+    engine = ServeEngine(
+        platform,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        wave_size=args.wave_size,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    if engine.resumed:
+        print(
+            f"resumed serving run: {engine.cache.total_answers} cached "
+            f"answers restored"
+        )
+    # One offline plan per distinct target set; queries sharing targets
+    # share the plan (and, through the cache, each other's answers).
+    plans: dict[tuple[str, ...], object] = {}
+    with obs.tracer.span("serve.plan"):
+        for request in requests:
+            key = request.targets
+            if key not in plans:
+                run = run_disq(
+                    platform,
+                    make_query(domain, key),
+                    args.b_obj,
+                    args.b_prc,
+                    DisQParams(n1=args.n1),
+                )
+                plans[key] = run.plan
+            engine.submit(request, plans[key])
+    report = engine.run()
+    engine.close()
+    print(report.render())
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        print(f"full serve report written to {out}")
+    # Keep the manifest extra compact: the per-object estimate vectors
+    # live in --out, not in the manifest.
+    summary = report.to_dict()
+    for result in summary["results"]:
+        result.pop("estimates", None)
+    _emit_manifest(
+        args, obs, f"serve:{args.domain}:{len(requests)}q", extra={"report": summary}
+    )
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Sweep one budget axis across algorithms and print the series."""
     _check_durability_flags(args)
@@ -374,6 +433,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_manifest(evaluate)
     _add_durability(evaluate, chaos=True)
     evaluate.set_defaults(handler=cmd_evaluate)
+
+    serve = commands.add_parser(
+        "serve", help="serve a query workload with the batched engine"
+    )
+    serve.add_argument(
+        "--domain", choices=sorted(DOMAINS), required=True, help="ground-truth world"
+    )
+    serve.add_argument(
+        "--queries", required=True, metavar="PATH", help="queries.json workload"
+    )
+    serve.add_argument("--workers", type=int, default=1, help="scheduler threads")
+    serve.add_argument(
+        "--max-queue", type=int, default=64, help="backpressure bound (shed beyond)"
+    )
+    serve.add_argument(
+        "--wave-size", type=int, default=None, help="queries per wave (default: all)"
+    )
+    serve.add_argument("--seed", type=int, default=1, help="simulation seed")
+    serve.add_argument("--n-objects", type=int, default=300, help="domain size")
+    serve.add_argument("--n1", type=int, default=80, help="statistics examples/pool")
+    serve.add_argument("--b-obj", type=float, default=4.0, help="online cents/object")
+    serve.add_argument("--b-prc", type=float, default=2000.0, help="offline cents")
+    serve.add_argument(
+        "--out", metavar="PATH", default=None, help="write the full report JSON here"
+    )
+    _add_manifest(serve)
+    _add_durability(serve)
+    serve.set_defaults(handler=cmd_serve)
 
     sweep = commands.add_parser("sweep", help="budget sweep across algorithms")
     _add_common(sweep)

@@ -12,6 +12,7 @@ The error metrics implement the paper's definitions:
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import Protocol
 
 import numpy as np
 
@@ -26,6 +27,34 @@ from repro.errors import (
 )
 
 
+class AnswerSource(Protocol):
+    """Where the online phase gets its ``b(a)`` value answers from.
+
+    The default is :class:`PlatformAnswerSource` (buy every answer from
+    the crowd platform, exactly the paper's online phase); the serving
+    engine substitutes a cache-backed source
+    (:class:`repro.serve.cache.CachedAnswerSource`) that only buys the
+    shortfall.  Implementations may raise
+    :class:`~repro.errors.BudgetExhaustedError` or
+    :class:`~repro.errors.CrowdFaultError`, which the evaluator absorbs
+    into its skip lists.
+    """
+
+    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
+        """Return up to ``n`` value answers for one (object, attribute)."""
+        ...
+
+
+class PlatformAnswerSource:
+    """The paper-faithful source: every answer is bought from the crowd."""
+
+    def __init__(self, platform: CrowdPlatform) -> None:
+        self.platform = platform
+
+    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
+        return self.platform.ask_value(object_id, attribute, n)
+
+
 class OnlineEvaluator:
     """Applies one or more preprocessing plans to database objects.
 
@@ -38,6 +67,7 @@ class OnlineEvaluator:
         self,
         platform: CrowdPlatform,
         plans: PreprocessingPlan | Sequence[PreprocessingPlan],
+        answer_source: AnswerSource | None = None,
     ) -> None:
         if isinstance(plans, PreprocessingPlan):
             plans = [plans]
@@ -45,12 +75,33 @@ class OnlineEvaluator:
             raise ConfigurationError("need at least one plan")
         self.platform = platform
         self.plans = list(plans)
+        self.source: AnswerSource = (
+            answer_source
+            if answer_source is not None
+            else PlatformAnswerSource(platform)
+        )
         targets: list[str] = []
         for plan in self.plans:
             targets.extend(plan.query.targets)
         if len(set(targets)) != len(targets):
             raise ConfigurationError("plans estimate overlapping targets")
         self.targets = tuple(targets)
+        # Per-object work is invariant across objects: resolve each
+        # plan's (attribute, count) pairs and the per-attribute prices
+        # once, here, instead of once per estimated object.
+        self._plan_items: list[
+            tuple[PreprocessingPlan, tuple[tuple[str, int], ...]]
+        ] = [
+            (
+                plan,
+                tuple(
+                    (attribute, plan.budget[attribute])
+                    for attribute in plan.budget.attributes
+                ),
+            )
+            for plan in self.plans
+        ]
+        self._price_of: dict[str, float] | None = None
         #: (object_id, attribute) pairs whose answers were lost to crowd
         #: faults even after retries; their formula terms dropped out.
         self.fault_skips: list[tuple[int, str]] = []
@@ -62,13 +113,21 @@ class OnlineEvaluator:
         self.budget_skips: list[tuple[int, str]] = []
 
     def per_object_cost(self) -> float:
-        """Online cents spent per object across all plans."""
-        total = 0.0
-        for plan in self.plans:
-            total += plan.budget.cost(
-                {a: self.platform.value_price(a) for a in plan.budget.attributes}
-            )
-        return total
+        """Online cents spent per object across all plans.
+
+        Prices are resolved through the platform once and cached: the
+        price schedule is immutable, so repeated calls (and the
+        per-object loop) must not re-resolve every attribute.
+        """
+        if self._price_of is None:
+            self._price_of = {
+                attribute: self.platform.value_price(attribute)
+                for plan in self.plans
+                for attribute in plan.budget.attributes
+            }
+        return sum(
+            plan.budget.cost(self._price_of) for plan in self.plans
+        )
 
     def estimate_object(self, object_id: int) -> dict[str, float]:
         """Estimated target values for one object (the paper's ``o.a^(*)``).
@@ -84,13 +143,11 @@ class OnlineEvaluator:
         obs = self.platform.obs
         obs.metrics.inc("online.objects")
         estimates: dict[str, float] = {}
-        for plan in self.plans:
+        for plan, items in self._plan_items:
             means: dict[str, float] = {}
-            for attribute in plan.budget.attributes:
+            for attribute, count in items:
                 try:
-                    answers = self.platform.ask_value(
-                        object_id, attribute, plan.budget[attribute]
-                    )
+                    answers = self.source.fetch(object_id, attribute, count)
                 except BudgetExhaustedError:
                     self.budget_skips.append((object_id, attribute))
                     obs.metrics.inc("online.budget_skips")

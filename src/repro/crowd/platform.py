@@ -249,6 +249,34 @@ class CrowdPlatform:
         if self.chaos is not None:
             self.chaos.note_interactions(count)
 
+    def charge_values(self, attribute: str, count: int) -> float:
+        """Check and debit ``count`` value questions about ``attribute``.
+
+        The serving engine generates its answers through deterministic
+        per-key streams (:mod:`repro.serve.stream`) instead of
+        :meth:`ask_value`, but the money still flows through this
+        platform: the budget is checked before the charge and the
+        ledger records it, exactly as for a platform-generated batch.
+        Returns the cents charged.
+        """
+        if count <= 0:
+            return 0.0
+        cost = count * self.value_price(attribute)
+        self._check_affordable(cost)
+        self._charge("value", cost, count)
+        return cost
+
+    def record_value_savings(self, attribute: str, count: int) -> float:
+        """Record ``count`` cache-served value answers as ledger savings.
+
+        Returns the cents that re-purchasing them would have cost.
+        """
+        if count <= 0:
+            return 0.0
+        saved = count * self.value_price(attribute)
+        self.ledger.record_saving("value", saved, count)
+        return saved
+
     # ------------------------------------------------------------------
     # Resilient worker interaction
     # ------------------------------------------------------------------

@@ -104,6 +104,12 @@ class CostLedger:
     abandons_by_category: dict[str, int] = field(
         default_factory=lambda: {category: 0 for category in CATEGORIES}
     )
+    saved_by_category: dict[str, float] = field(
+        default_factory=lambda: {category: 0.0 for category in CATEGORIES}
+    )
+    saved_answers_by_category: dict[str, int] = field(
+        default_factory=lambda: {category: 0 for category in CATEGORIES}
+    )
     #: Optional duck-typed observability sink (a
     #: :class:`repro.obs.metrics.MetricsRegistry`).  Every entry the
     #: ledger records is mirrored into ``crowd.*`` counters, which is
@@ -164,6 +170,35 @@ class CostLedger:
         if self.metrics is not None:
             self.metrics.inc(f"crowd.retries.{category}", count)
 
+    @property
+    def total_saved(self) -> float:
+        """Cents *not* spent thanks to answer reuse (cache hits)."""
+        return sum(self.saved_by_category.values())
+
+    @property
+    def total_saved_answers(self) -> int:
+        """Answers served from a cache instead of being re-purchased."""
+        return sum(self.saved_answers_by_category.values())
+
+    def record_saving(self, category: str, cost: float, count: int = 1) -> None:
+        """Record ``count`` cache-served answers worth ``cost`` cents.
+
+        Savings are what the serving engine's answer cache avoided
+        re-purchasing; they never touch the spend counters, so
+        ``total_spent`` stays the money that actually left the budget.
+        """
+        if category not in self.saved_by_category:
+            raise ConfigurationError(f"unknown ledger category: {category!r}")
+        if cost < 0 or count < 0:
+            raise ConfigurationError("ledger entries must be non-negative")
+        if self.journal is not None:
+            self.journal.record_ledger("saving", category, cost=cost, count=count)
+        self.saved_by_category[category] += cost
+        self.saved_answers_by_category[category] += count
+        if self.metrics is not None:
+            self.metrics.inc(f"crowd.saved.{category}", cost)
+            self.metrics.inc(f"crowd.saved_answers.{category}", count)
+
     def record_abandon(self, category: str, count: int = 1) -> None:
         """Record ``count`` abandoned (unpaid) assignments of ``category``."""
         if category not in self.abandons_by_category:
@@ -188,6 +223,8 @@ class CostLedger:
             "questions_by_category": dict(self.questions_by_category),
             "retries_by_category": dict(self.retries_by_category),
             "abandons_by_category": dict(self.abandons_by_category),
+            "saved_by_category": dict(self.saved_by_category),
+            "saved_answers_by_category": dict(self.saved_answers_by_category),
         }
 
     def restore(self, payload: dict) -> None:
@@ -207,6 +244,20 @@ class CostLedger:
         }
         self.abandons_by_category = {
             str(k): int(v) for k, v in payload["abandons_by_category"].items()
+        }
+        # Older snapshots (pre-serving-engine) carry no savings section.
+        self.saved_by_category = {
+            str(k): float(v)
+            for k, v in payload.get(
+                "saved_by_category", {category: 0.0 for category in CATEGORIES}
+            ).items()
+        }
+        self.saved_answers_by_category = {
+            str(k): int(v)
+            for k, v in payload.get(
+                "saved_answers_by_category",
+                {category: 0 for category in CATEGORIES},
+            ).items()
         }
 
 

@@ -15,6 +15,7 @@ equal the true-value covariances.
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -36,6 +37,7 @@ class Worker(ABC):
 
     def __init__(self, worker_id: int, seed: int) -> None:
         self.worker_id = worker_id
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         #: Multiplier on this worker's operational fault probabilities
         #: (timeouts, abandons, garbage) under fault injection; 1.0 is
@@ -72,6 +74,26 @@ class Worker(ABC):
         object_id = domain.sample_object(self._rng)
         values = {target: domain.true_value(object_id, target) for target in targets}
         return object_id, values
+
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        """Value answer drawn from a caller-supplied random stream.
+
+        The serving engine's per-key answer streams need answers that
+        are a pure function of ``(seed, object, attribute, index)`` —
+        independent of how concurrent purchases interleave — so this
+        variant must not touch the worker's private RNG (which is
+        shared mutable state).  The answer *distribution* matches
+        :meth:`answer_value`; only the source of randomness differs.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support stateless value answers"
+        )
 
     # -- helpers ---------------------------------------------------------
 
@@ -152,6 +174,20 @@ class HonestWorker(Worker):
             answer = float(np.clip(answer, 0.0, 1.0))
         return float(answer)
 
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        truth = domain.true_value(object_id, attribute)
+        noise_sd = np.sqrt(self.skill * domain.difficulty(attribute))
+        answer = truth + rng.normal(0.0, noise_sd)
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return float(answer)
+
     def answer_dismantle(self, domain: Domain, attribute: str) -> str:
         distribution = domain.dismantle_distribution(attribute)
         names = list(distribution)
@@ -207,6 +243,27 @@ class BiasedWorker(HonestWorker):
             answer = float(np.clip(answer, 0.0, 1.0))
         return answer
 
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        answer = super().answer_value_stateless(domain, object_id, attribute, rng)
+        # The persistent per-(worker, attribute) bias cannot come from
+        # the lazily-advanced private RNG; derive it from the worker's
+        # seed and the attribute name so it is stable across any
+        # purchase order (crc32, not hash(): hash() is per-process).
+        noise_sd = np.sqrt(self.skill * domain.difficulty(attribute))
+        bias_rng = np.random.default_rng(
+            [self._seed, zlib.crc32(attribute.encode("utf-8"))]
+        )
+        answer += float(bias_rng.normal(0.0, self.bias_scale * noise_sd))
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return answer
+
     def state_dict(self) -> dict:
         # Biases are drawn lazily from the worker RNG; without them a
         # restored worker would redraw and shift its random stream.
@@ -234,6 +291,16 @@ class SpamWorker(Worker):
     def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
         low, high = domain.answer_range(attribute)
         return float(self._rng.uniform(low, high))
+
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        low, high = domain.answer_range(attribute)
+        return float(rng.uniform(low, high))
 
     def answer_dismantle(self, domain: Domain, attribute: str) -> str:
         candidates = [name for name in domain.attributes() if name != attribute]

@@ -44,8 +44,9 @@ from repro.errors import ConfigurationError, JournalCorruptionError
 #: Answer-record kinds, matching the recorder's four stores.
 ANSWER_KINDS = ("value", "dismantle", "verification", "example")
 
-#: Ledger events a journal records (all unpaid except ``charge``).
-LEDGER_EVENTS = ("charge", "retry", "abandon")
+#: Ledger events a journal records (all unpaid except ``charge``;
+#: ``saving`` is money *avoided* by the serving engine's answer cache).
+LEDGER_EVENTS = ("charge", "retry", "abandon", "saving")
 
 
 def _canonical(record: dict) -> bytes:
@@ -345,6 +346,10 @@ def replay_journal(path: str | Path) -> JournalReplay:
                 ledger.record_retry(record["category"], record["count"])
             elif event == "abandon":
                 ledger.record_abandon(record["category"], record["count"])
+            elif event == "saving":
+                ledger.record_saving(
+                    record["category"], record["cost"], record["count"]
+                )
             else:
                 raise JournalCorruptionError(
                     f"unknown ledger event in journal: {event!r}"

@@ -14,7 +14,7 @@ EXPERIMENTS.md) so a full table/figure regenerates in seconds; pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.core.baselines import (
     NaiveAverage,

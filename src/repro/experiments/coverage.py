@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.model import Query
 from repro.domains.base import Domain
 from repro.errors import ConfigurationError, PlanningError
 from repro.experiments.config import ExperimentConfig

@@ -133,6 +133,36 @@ MANIFEST_SCHEMA = {
                 "checkpoint": {"type": "string"},
             },
         },
+        "serve": {
+            "type": "object",
+            "required": [
+                "queries",
+                "completed",
+                "partial",
+                "shed",
+                "cache_hits",
+                "cache_misses",
+                "answers_saved",
+                "answers_purchased",
+                "saved_cents",
+            ],
+            "properties": {
+                "queries": {"type": "integer"},
+                "completed": {"type": "integer"},
+                "partial": {"type": "integer"},
+                "shed": {"type": "integer"},
+                "from_checkpoint": {"type": "integer"},
+                "waves": {"type": "integer"},
+                "coalesced_questions": {"type": "integer"},
+                "budget_stops": {"type": "integer"},
+                "cache_hits": {"type": "integer"},
+                "cache_misses": {"type": "integer"},
+                "answers_saved": {"type": "integer"},
+                "answers_purchased": {"type": "integer"},
+                "saved_cents": {"type": "number"},
+                "peak_queue_depth": {"type": "integer"},
+            },
+        },
         "counters": _NUMBER_MAP,
         "gauges": _NUMBER_MAP,
         "extra": {"type": "object"},
@@ -177,6 +207,37 @@ def resilience_from_metrics(metrics) -> dict:
         "spam_rejected": int(metrics.counter("crowd.spam.rejected")),
         "quarantine_trips": int(metrics.counter("crowd.quarantine.trips")),
         "degradations": int(metrics.counter("plan.degradations")),
+    }
+
+
+def serve_from_metrics(metrics) -> dict | None:
+    """The manifest ``serve`` section, from ``serve.*`` counters.
+
+    Returns ``None`` for runs that never touched the serving engine
+    (``serve.queries`` is 0), so offline-only manifests stay unchanged.
+    The cache counters are incremented at the same call sites that feed
+    the :class:`~repro.serve.report.ServeReport` and the ledger's
+    savings, so the three views agree by construction.
+    """
+    queries = int(metrics.counter("serve.queries"))
+    if queries == 0:
+        return None
+    gauges = metrics.gauges()
+    return {
+        "queries": queries,
+        "completed": int(metrics.counter("serve.completed")),
+        "partial": int(metrics.counter("serve.partial")),
+        "shed": int(metrics.counter("serve.shed")),
+        "from_checkpoint": int(metrics.counter("serve.from_checkpoint")),
+        "waves": int(metrics.counter("serve.waves")),
+        "coalesced_questions": int(metrics.counter("serve.coalesced")),
+        "budget_stops": int(metrics.counter("serve.budget_stops")),
+        "cache_hits": int(metrics.counter("serve.cache.hits")),
+        "cache_misses": int(metrics.counter("serve.cache.misses")),
+        "answers_saved": int(metrics.counter("serve.answers.saved")),
+        "answers_purchased": int(metrics.counter("serve.answers.purchased")),
+        "saved_cents": float(metrics.counter("crowd.saved.value")),
+        "peak_queue_depth": int(gauges.get("serve.peak_queue_depth", 0)),
     }
 
 
@@ -248,6 +309,9 @@ def build_manifest(
         "counters": metrics.counters(),
         "gauges": metrics.gauges(),
     }
+    serve = serve_from_metrics(metrics)
+    if serve is not None:
+        manifest["serve"] = serve
     if plan is not None:
         manifest["plan"] = plan_summary(plan)
     if extra is not None:

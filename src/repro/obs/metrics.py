@@ -41,13 +41,20 @@ Naming convention (all counters unless noted):
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import ConfigurationError
 
 
 class MetricsRegistry:
-    """A mutable registry of named counters and gauges."""
+    """A mutable registry of named counters and gauges.
 
-    __slots__ = ("_counters", "_gauges")
+    Writes are guarded by a lock: the serving engine's parallel
+    evaluation phase increments counters from worker threads, and an
+    unguarded read-modify-write would lose updates under contention.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_lock")
 
     #: Real registries record; the null registry advertises False so
     #: callers can skip work that only feeds metrics.
@@ -56,6 +63,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # -- recording -------------------------------------------------------
 
@@ -65,11 +73,13 @@ class MetricsRegistry:
             raise ConfigurationError(
                 f"counter {name!r} cannot be decremented (value={value!r})"
             )
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     # -- reading ---------------------------------------------------------
 
@@ -131,10 +141,11 @@ class MetricsRegistry:
         """
         if isinstance(other, dict):
             other = MetricsRegistry.from_dict(other)
-        for name, value in other._counters.items():
-            self._counters[name] = self._counters.get(name, 0) + value
-        for name, value in other._gauges.items():
-            self._gauges[name] = value
+        with self._lock:
+            for name, value in other._counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in other._gauges.items():
+                self._gauges[name] = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

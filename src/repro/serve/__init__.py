@@ -1,0 +1,40 @@
+"""Online query serving: batched evaluation over a shared answer cache.
+
+The offline pipeline answers one query at a time and buys every answer
+it needs.  This package adds the serving layer on top: an
+:class:`~repro.serve.engine.ServeEngine` that accepts a stream of
+:class:`~repro.serve.report.QueryRequest` submissions, coalesces their
+value questions across queries, buys only what the shared
+:class:`~repro.serve.cache.AnswerCache` does not already hold, and
+evaluates queries concurrently — deterministically, for any worker
+count, thanks to pure per-key answer streams
+(:mod:`repro.serve.stream`).  See DESIGN.md §12.
+"""
+
+from repro.serve.cache import AnswerCache, CachedAnswerSource, CacheReadSource
+from repro.serve.engine import SERVE_CHECKPOINT, SERVE_JOURNAL, ServeEngine
+from repro.serve.report import (
+    Predicate,
+    QueryRequest,
+    QueryResult,
+    ServeReport,
+    load_query_file,
+)
+from repro.serve.scheduler import BoundedScheduler
+from repro.serve.stream import DeterministicValueStream
+
+__all__ = [
+    "SERVE_CHECKPOINT",
+    "SERVE_JOURNAL",
+    "AnswerCache",
+    "BoundedScheduler",
+    "CacheReadSource",
+    "CachedAnswerSource",
+    "DeterministicValueStream",
+    "Predicate",
+    "QueryRequest",
+    "QueryResult",
+    "ServeEngine",
+    "ServeReport",
+    "load_query_file",
+]

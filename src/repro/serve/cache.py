@@ -1,0 +1,228 @@
+"""The shared answer cache and its evaluator-facing answer sources.
+
+:class:`AnswerCache` stores purchased crowd value answers keyed by
+``(object_id, attribute)`` with per-entry counts.  A query that needs
+``b(a)`` answers for a key some earlier query already touched only buys
+the shortfall ``max(0, b(a) - cached)`` — the reuse that crowd query
+processors build their economics on (Trushkowsky et al.'s *Getting It
+All from the Crowd*; Rekatsinas et al.'s *CrowdGather*).
+
+Two :class:`~repro.core.online.AnswerSource` implementations ride on
+the cache:
+
+* :class:`CachedAnswerSource` — the full read-through source: serves
+  cached prefixes, purchases shortfalls through the platform ledger
+  (budget-checked) from a :class:`~repro.serve.stream.
+  DeterministicValueStream`, and records cache-hit savings.  Safe for
+  serial use and for the engine's purchase phase (a lock serializes
+  the charge+journal+insert critical section).
+* :class:`CacheReadSource` — the read-only source the engine hands to
+  evaluators after a wave's purchases have landed: pure cache reads,
+  no accounting, trivially thread-safe.
+
+Durability: every freshly purchased answer can be journaled through
+the existing write-ahead machinery (``journal.record_answer("value",
+key, index, answer)`` — the same record shape the offline
+:class:`~repro.crowd.recording.AnswerRecorder` writes), so
+:func:`~repro.durability.journal.replay_journal` reconstructs the
+cache exactly and a crashed serving run resumes without re-purchasing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.errors import ConfigurationError
+from repro.serve.stream import DeterministicValueStream
+
+#: Cache keys are the recorder's value-tape keys: (object_id, attribute).
+CacheKey = tuple[int, str]
+
+
+class AnswerCache:
+    """Purchased value answers keyed by ``(object_id, attribute)``.
+
+    Append-only per key (answers are never evicted or reordered —
+    eviction would break both replay determinism and the economics:
+    a bought answer is an asset).  Tracks hit/miss counts for the
+    serve report and serializes to JSON for checkpoints.
+    """
+
+    def __init__(self) -> None:
+        self._answers: dict[CacheKey, list[float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    @property
+    def total_answers(self) -> int:
+        """Total purchased answers held across all keys."""
+        return sum(len(answers) for answers in self._answers.values())
+
+    def count(self, object_id: int, attribute: str) -> int:
+        """How many answers are cached for one key."""
+        return len(self._answers.get((object_id, attribute), ()))
+
+    def answers(self, object_id: int, attribute: str, n: int) -> list[float]:
+        """The first ``min(n, cached)`` answers of one key (a copy)."""
+        return list(self._answers.get((object_id, attribute), ())[:n])
+
+    def shortfall(self, object_id: int, attribute: str, n: int) -> int:
+        """Answers still to buy so the key can serve ``n``."""
+        return max(0, n - self.count(object_id, attribute))
+
+    def add(self, object_id: int, attribute: str, answers: list[float]) -> int:
+        """Append freshly purchased answers; returns the start index."""
+        sequence = self._answers.setdefault((object_id, attribute), [])
+        start = len(sequence)
+        sequence.extend(float(answer) for answer in answers)
+        return start
+
+    def note_hits(self, count: int) -> None:
+        self.hits += count
+
+    def note_misses(self, count: int) -> None:
+        self.misses += count
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable copy of every cached answer."""
+        return {
+            "entries": [
+                {"object": oid, "attribute": attr, "answers": list(answers)}
+                for (oid, attr), answers in self._answers.items()
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "AnswerCache":
+        cache = cls()
+        for entry in payload.get("entries", []):
+            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = [
+                float(answer) for answer in entry["answers"]
+            ]
+        cache.hits = int(payload.get("hits", 0))
+        cache.misses = int(payload.get("misses", 0))
+        return cache
+
+    @classmethod
+    def from_recorder(cls, recorder: AnswerRecorder) -> "AnswerCache":
+        """Rebuild a cache from a (journal-replayed) answer recorder.
+
+        The journal's ``value`` records and the recorder's value tapes
+        share the cache's key shape, so a crashed serving run's journal
+        replays straight into a warm cache.
+        """
+        cache = cls()
+        for entry in recorder.to_dict()["values"]:
+            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = [
+                float(answer) for answer in entry["answers"]
+            ]
+        return cache
+
+
+class CachedAnswerSource:
+    """Read-through answer source: cached prefix + purchased shortfall.
+
+    Parameters
+    ----------
+    platform:
+        Charges shortfalls (budget-checked) and records savings.
+    cache:
+        The shared answer store; a fresh private one when omitted.
+    stream:
+        Deterministic answer generator; built over ``platform`` when
+        omitted.
+    journal:
+        Optional write-ahead journal (duck-typed against
+        :class:`~repro.durability.journal.Journal`); every purchased
+        answer is journaled *before* it joins the cache.
+    metrics:
+        Optional metrics sink for the ``serve.cache.*`` counters.
+    """
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        cache: AnswerCache | None = None,
+        stream: DeterministicValueStream | None = None,
+        journal: Any = None,
+        metrics: Any = None,
+    ) -> None:
+        self.platform = platform
+        self.cache = cache if cache is not None else AnswerCache()
+        self.stream = (
+            stream if stream is not None else DeterministicValueStream(platform)
+        )
+        self.journal = journal
+        self.metrics = metrics
+        #: Serializes charge + journal + cache-insert so concurrent
+        #: fetches cannot double-buy a key or tear the ledger.
+        self._lock = threading.Lock()
+
+    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
+        """Up to ``n`` answers: cached prefix plus purchased shortfall.
+
+        Raises :class:`~repro.errors.BudgetExhaustedError` when the
+        platform budget cannot cover the shortfall (nothing is bought
+        or cached in that case).
+        """
+        if n <= 0:
+            return []
+        with self._lock:
+            cached = self.cache.count(object_id, attribute)
+            hits = min(cached, n)
+            shortfall = n - hits
+            if shortfall:
+                # Budget check happens inside charge_values, *before*
+                # the charge; generation is pure and cannot fail.
+                self.platform.charge_values(attribute, shortfall)
+                fresh = self.stream.answers(object_id, attribute, cached, shortfall)
+                if self.journal is not None:
+                    key = (object_id, attribute)
+                    for offset, answer in enumerate(fresh):
+                        self.journal.record_answer(
+                            "value", key, cached + offset, answer
+                        )
+                self.cache.add(object_id, attribute, fresh)
+                self.cache.note_misses(shortfall)
+            if hits:
+                self.platform.record_value_savings(attribute, hits)
+                self.cache.note_hits(hits)
+            if self.metrics is not None:
+                if hits:
+                    self.metrics.inc("serve.cache.hits", hits)
+                    self.metrics.inc("serve.answers.saved", hits)
+                if shortfall:
+                    self.metrics.inc("serve.cache.misses", shortfall)
+                    self.metrics.inc("serve.answers.purchased", shortfall)
+            return self.cache.answers(object_id, attribute, n)
+
+
+class CacheReadSource:
+    """Read-only view of a cache for post-purchase query evaluation.
+
+    Returns whatever prefix the cache holds (shorter than ``n`` only
+    when a wave's purchases were cut short by budget exhaustion, in
+    which case the estimate degrades the same way the offline online
+    phase degrades: the term's mean is taken over fewer answers, or
+    drops out entirely at zero).  No accounting happens here — the
+    engine already attributed hits and purchases when it planned the
+    wave — so concurrent evaluators can share one instance freely.
+    """
+
+    def __init__(self, cache: AnswerCache) -> None:
+        self.cache = cache
+
+    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
+        if n < 0:
+            raise ConfigurationError(f"cannot fetch {n} answers")
+        return self.cache.answers(object_id, attribute, n)

@@ -1,0 +1,490 @@
+"""The batched query-serving engine.
+
+:class:`ServeEngine` accepts a stream of :class:`~repro.serve.report.
+QueryRequest` submissions and evaluates them against the crowd in
+**waves**.  One wave takes every admitted query (up to ``wave_size``),
+and runs four phases:
+
+1. **Need computation** (serial).  Walk the wave's queries in admission
+   order and compute, per ``(object, attribute)`` key, the maximum
+   answer count any query demands.  Concurrent queries touching the
+   same key coalesce into a single purchase of the maximum shortfall —
+   the cross-query batching this engine exists for.
+2. **Generation** (parallel, pure).  Produce the shortfall answers
+   through the :class:`~repro.serve.stream.DeterministicValueStream`.
+   Every answer is a pure function of ``(seed, object, attribute,
+   index)``, so this phase is embarrassingly parallel and identical
+   under any worker count.
+3. **Commit** (serial, sorted key order).  Charge the platform ledger,
+   journal each answer, and insert into the shared
+   :class:`~repro.serve.cache.AnswerCache` — one key at a time, in
+   sorted order, so ledger float accumulation and journal sequence
+   numbers never depend on thread scheduling.  A key the budget cannot
+   cover is skipped (its queries come back ``partial``/``budget``);
+   cheaper keys later in the order may still fit.
+4. **Evaluation** (parallel, read-only).  Each query runs the standard
+   :class:`~repro.core.online.OnlineEvaluator` over a
+   :class:`~repro.serve.cache.CacheReadSource` — pure reads of the now
+   frozen wave cache — and applies its predicate.  Deadlines are
+   checked between objects; an expired query keeps its evaluated
+   prefix and comes back ``partial``/``deadline``.
+
+The serial/parallel split *is* the determinism argument (see
+DESIGN.md §12): everything parallel is side-effect-free, everything
+side-effecting is serial in a canonical order.  Spend, savings,
+estimates and the journal are byte-identical across ``--workers 1``
+and ``--workers N``.
+
+Backpressure: at most ``max_queue`` queries may be pending; submissions
+beyond that are **shed** — refused up front with a ``shed`` result and
+a ``serve.shed`` counter tick, never silently dropped.
+
+Durability: with a ``checkpoint_dir``, every purchased answer is
+journaled write-ahead (``serve.journal.jsonl``) and every completed
+wave checkpoints platform state, cache and finished results
+(``serve.checkpoint.json``, atomic).  Resuming restores the
+checkpoint, then folds the journal's post-checkpoint tail back into
+the cache — re-charging those answers so the ledger matches the
+crashed run — and re-serves finished queries from the checkpoint
+without touching the crowd.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.model import PreprocessingPlan
+from repro.core.online import OnlineEvaluator
+from repro.crowd.platform import CrowdPlatform
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.journal import Journal, replay_journal
+from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.serve.cache import AnswerCache, CacheKey, CacheReadSource
+from repro.serve.report import QueryRequest, QueryResult, ServeReport
+from repro.serve.scheduler import BoundedScheduler
+from repro.serve.stream import DeterministicValueStream
+
+#: Journal and checkpoint filenames under the engine's checkpoint_dir
+#: (distinct from the offline pipeline's files so one directory can
+#: host both).
+SERVE_JOURNAL = "serve.journal.jsonl"
+SERVE_CHECKPOINT = "serve.checkpoint.json"
+
+
+@dataclass
+class _Pending:
+    """One admitted query waiting for (or inside) a wave."""
+
+    request: QueryRequest
+    plans: list[PreprocessingPlan]
+    admitted_at: float
+    #: (object_id, attribute) -> answers this query's plans demand.
+    demands: dict[CacheKey, int] = field(default_factory=dict)
+    #: Filled during the wave: accounting first, then evaluation.
+    result: QueryResult | None = None
+
+
+class ServeEngine:
+    """Serve concurrent queries over one platform with a shared cache.
+
+    Parameters
+    ----------
+    platform:
+        Prices, budget, ledger and worker pool.  The engine never calls
+        ``ask_value`` — answers come from its deterministic stream —
+        but every cent flows through this platform's ledger.
+    workers:
+        Thread count for the pure phases (generation, evaluation).
+        ``1`` is the serial reference execution.
+    max_queue:
+        Backpressure bound: submissions beyond this many pending
+        queries are shed.
+    wave_size:
+        Queries per wave; ``None`` (default) takes the whole queue,
+        maximizing cross-query coalescing.
+    seed:
+        Answer-stream seed; defaults to the platform's seed.
+    checkpoint_dir:
+        Enables durability (journal + per-wave checkpoints) when set.
+    resume:
+        Restore a previous run's checkpoint/journal from
+        ``checkpoint_dir`` before serving.
+    clock:
+        Monotonic clock used for deadlines (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        workers: int = 1,
+        max_queue: int = 64,
+        wave_size: int | None = None,
+        seed: int | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+        clock=time.monotonic,
+    ) -> None:
+        if max_queue < 1:
+            raise ConfigurationError(
+                f"the engine needs room for at least one query, got "
+                f"max_queue={max_queue}"
+            )
+        if wave_size is not None and wave_size < 1:
+            raise ConfigurationError(f"wave_size must be positive, got {wave_size}")
+        if resume and checkpoint_dir is None:
+            raise ConfigurationError("resume requires a checkpoint_dir")
+        self.platform = platform
+        self.obs = platform.obs
+        self.scheduler = BoundedScheduler(workers)
+        self.max_queue = max_queue
+        self.wave_size = wave_size
+        self.stream = DeterministicValueStream(platform, seed)
+        self.cache = AnswerCache()
+        self._clock = clock
+        self._queue: list[_Pending] = []
+        self._results: list[QueryResult] = []
+        self._seen_ids: set[str] = set()
+        self._checkpointed: dict[str, QueryResult] = {}
+        self._price_of: dict[str, float] = {}
+        self._batches = 0
+        self._coalesced = 0
+        self._peak_queue = 0
+        self.resumed = False
+        #: Journal-tail answers folded back into the cache on resume
+        #: (re-charged so the ledger matches the crashed run).
+        self.restored_answers = 0
+        self.journal: Journal | None = None
+        self.checkpoints: CheckpointStore | None = None
+        if checkpoint_dir is not None:
+            directory = Path(checkpoint_dir)
+            self.checkpoints = CheckpointStore(directory, SERVE_CHECKPOINT)
+            if resume:
+                self._restore(directory)
+            self.journal = Journal(directory / SERVE_JOURNAL)
+            if resume:
+                self._merge_journal_tail()
+
+    # -- durability ------------------------------------------------------
+
+    def _restore(self, directory: Path) -> None:
+        """Load the last wave checkpoint, if any."""
+        assert self.checkpoints is not None
+        if not self.checkpoints.exists():
+            return
+        payload = self.checkpoints.load()
+        self.platform.restore_state(payload["platform"])
+        self.cache = AnswerCache.from_snapshot(payload["cache"])
+        for entry in payload.get("results", []):
+            result = QueryResult.from_dict(entry)
+            result.from_checkpoint = True
+            self._checkpointed[result.query_id] = result
+        self.resumed = True
+        self.obs.tracer.event(
+            "serve.resume",
+            results=len(self._checkpointed),
+            cached_answers=self.cache.total_answers,
+        )
+
+    def _merge_journal_tail(self) -> None:
+        """Fold journaled answers beyond the checkpoint into the cache.
+
+        Answers are journaled write-ahead, so after a crash the journal
+        may run ahead of the last checkpoint.  Those answers were paid
+        for by the crashed run; re-charging them here (count × price,
+        deterministic) makes the restored ledger and budget match the
+        crashed run exactly, and the warm cache means they are never
+        re-purchased.
+        """
+        assert self.journal is not None
+        replay = replay_journal(self.journal.path)
+        restored = 0
+        for entry in replay.recorder.to_dict()["values"]:
+            object_id = int(entry["object"])
+            attribute = str(entry["attribute"])
+            tape = [float(answer) for answer in entry["answers"]]
+            have = self.cache.count(object_id, attribute)
+            if len(tape) <= have:
+                continue
+            self.platform.charge_values(attribute, len(tape) - have)
+            self.cache.add(object_id, attribute, tape[have:])
+            restored += len(tape) - have
+        self.restored_answers = restored
+        if restored:
+            self.resumed = True
+            self.obs.tracer.event("serve.journal_tail", answers=restored)
+
+    def _checkpoint(self) -> None:
+        """Atomically persist platform state, cache, finished results."""
+        if self.checkpoints is None:
+            return
+        self.checkpoints.save(
+            {
+                "platform": self.platform.capture_state(),
+                "cache": self.cache.snapshot(),
+                "results": [result.to_dict() for result in self._results],
+            }
+        )
+
+    def close(self) -> None:
+        """Flush and close the journal (if durability is on)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- admission -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries admitted and not yet served."""
+        return len(self._queue)
+
+    def submit(
+        self,
+        request: QueryRequest,
+        plans: PreprocessingPlan | Sequence[PreprocessingPlan],
+    ) -> bool:
+        """Admit one query (with its preprocessing plans) for serving.
+
+        Returns ``True`` when admitted (or already finished in a
+        restored checkpoint), ``False`` when shed by backpressure.
+        Shed queries still get a :class:`QueryResult` in the report.
+        """
+        if isinstance(plans, PreprocessingPlan):
+            plans = [plans]
+        plans = list(plans)
+        if request.query_id in self._seen_ids:
+            raise ConfigurationError(
+                f"duplicate query id {request.query_id!r} submitted"
+            )
+        plan_targets = {
+            target for plan in plans for target in plan.query.targets
+        }
+        missing = [t for t in request.targets if t not in plan_targets]
+        if missing:
+            raise ConfigurationError(
+                f"query {request.query_id!r} targets {missing} have no plan"
+            )
+        self._seen_ids.add(request.query_id)
+        metrics = self.obs.metrics
+        if request.query_id in self._checkpointed:
+            # Finished before the crash; serve the checkpointed result.
+            self._results.append(self._checkpointed.pop(request.query_id))
+            metrics.inc("serve.queries")
+            metrics.inc("serve.from_checkpoint")
+            return True
+        if len(self._queue) >= self.max_queue:
+            self._results.append(QueryResult(query_id=request.query_id, status="shed"))
+            metrics.inc("serve.queries")
+            metrics.inc("serve.shed")
+            self.obs.tracer.event(
+                "serve.shed", query=request.query_id, depth=len(self._queue)
+            )
+            return False
+        pending = _Pending(request=request, plans=plans, admitted_at=self._clock())
+        for plan in pending.plans:
+            for attribute in plan.budget.attributes:
+                count = plan.budget[attribute]
+                for object_id in request.object_ids:
+                    key = (object_id, attribute)
+                    pending.demands[key] = max(pending.demands.get(key, 0), count)
+        self._queue.append(pending)
+        self._peak_queue = max(self._peak_queue, len(self._queue))
+        metrics.inc("serve.queries")
+        metrics.gauge("serve.queue.depth", len(self._queue))
+        return True
+
+    # -- serving ---------------------------------------------------------
+
+    def run(self) -> ServeReport:
+        """Serve every admitted query; returns the aggregate report."""
+        started = time.perf_counter()
+        with self.obs.tracer.span("serve", workers=self.scheduler.workers):
+            while self._queue:
+                size = self.wave_size or len(self._queue)
+                wave, self._queue = self._queue[:size], self._queue[size:]
+                self.obs.metrics.gauge("serve.queue.depth", len(self._queue))
+                self._serve_wave(wave)
+                self._checkpoint()
+        report = ServeReport(
+            results=list(self._results),
+            batches=self._batches,
+            coalesced_questions=self._coalesced,
+            peak_queue_depth=self._peak_queue,
+            wall_seconds=time.perf_counter() - started,
+            workers=self.scheduler.workers,
+        )
+        self.obs.metrics.gauge("serve.peak_queue_depth", self._peak_queue)
+        return report
+
+    def _price(self, attribute: str) -> float:
+        price = self._price_of.get(attribute)
+        if price is None:
+            price = self.platform.value_price(attribute)
+            self._price_of[attribute] = price
+        return price
+
+    def _serve_wave(self, wave: list[_Pending]) -> None:
+        metrics = self.obs.metrics
+        metrics.inc("serve.waves")
+
+        # Phase 1 (serial): per-key wave demand = max over queries, and
+        # the pre-wave cache level each shortfall purchase starts from.
+        demands: dict[CacheKey, int] = {}
+        for pending in wave:
+            for key, count in pending.demands.items():
+                demands[key] = max(demands.get(key, 0), count)
+        pre_counts = {
+            key: self.cache.count(key[0], key[1]) for key in demands
+        }
+        shortfalls = [
+            (key, pre_counts[key], demands[key] - pre_counts[key])
+            for key in sorted(demands)
+            if demands[key] > pre_counts[key]
+        ]
+        # Batching saving: questions the wave's queries would have
+        # bought independently but the coalesced purchase did not.
+        independent = sum(
+            max(0, count - pre_counts[key])
+            for pending in wave
+            for key, count in pending.demands.items()
+        )
+        fresh_total = sum(n for _, _, n in shortfalls)
+        self._coalesced += independent - fresh_total
+        if independent > fresh_total:
+            metrics.inc("serve.coalesced", independent - fresh_total)
+
+        # Phase 2 (parallel, pure): generate every shortfall answer.
+        with self.obs.tracer.span(
+            "serve.purchase", keys=len(shortfalls), answers=fresh_total
+        ):
+            generated = self.scheduler.run(
+                lambda item: self.stream.answers(
+                    item[0][0], item[0][1], item[1], item[2]
+                ),
+                shortfalls,
+            )
+
+            # Phase 3 (serial, sorted key order): charge, journal, insert.
+            unfunded: set[CacheKey] = set()
+            purchased = 0
+            for (key, start, count), answers in zip(shortfalls, generated):
+                object_id, attribute = key
+                try:
+                    self.platform.charge_values(attribute, count)
+                except BudgetExhaustedError:
+                    unfunded.add(key)
+                    metrics.inc("serve.budget_stops")
+                    self.obs.tracer.event(
+                        "serve.budget_stop",
+                        object_id=object_id,
+                        attribute=attribute,
+                        answers=count,
+                    )
+                    continue
+                if self.journal is not None:
+                    for offset, answer in enumerate(answers):
+                        self.journal.record_answer("value", key, start + offset, answer)
+                self.cache.add(object_id, attribute, answers)
+                self.cache.note_misses(count)
+                purchased += count
+            if purchased:
+                self._batches += 1
+                metrics.inc("serve.cache.misses", purchased)
+                metrics.inc("serve.answers.purchased", purchased)
+
+        # Phase 4a (serial, admission order): attribute spend/savings.
+        # ``virtual`` replays the cache level each query observed: hits
+        # are answers that existed before this query's turn (bought
+        # earlier, or by an earlier query of this wave), fresh answers
+        # are the ones its own demand pulled in.
+        virtual = dict(pre_counts)
+        budget_short: set[str] = set()
+        for pending in wave:
+            result = QueryResult(query_id=pending.request.query_id)
+            for key in sorted(pending.demands):
+                count = pending.demands[key]
+                object_id, attribute = key
+                available = self.cache.count(object_id, attribute)
+                seen = virtual[key]
+                hits = min(seen, count)
+                fresh = max(0, min(count, available) - seen)
+                if count > available:
+                    budget_short.add(pending.request.query_id)
+                if hits:
+                    price = self._price(attribute)
+                    result.saved_answers += hits
+                    result.saved_cents += hits * price
+                    self.platform.record_value_savings(attribute, hits)
+                    self.cache.note_hits(hits)
+                    metrics.inc("serve.cache.hits", hits)
+                    metrics.inc("serve.answers.saved", hits)
+                if fresh:
+                    result.fresh_answers += fresh
+                    result.spent_cents += fresh * self._price(attribute)
+                virtual[key] = max(seen, min(count, available))
+            pending.result = result
+
+        # Phase 4b (parallel, read-only): evaluate every query over the
+        # frozen wave cache and apply predicates/deadlines.
+        read_source = CacheReadSource(self.cache)
+        with self.obs.tracer.span("serve.evaluate", queries=len(wave)):
+            evaluated = self.scheduler.run(
+                lambda pending: self._evaluate(pending, read_source),
+                wave,
+            )
+        for pending, result in zip(wave, evaluated):
+            if pending.request.query_id in budget_short:
+                result.status = "partial"
+                result.partial_reason = result.partial_reason or "budget"
+            metrics.inc(
+                "serve.partial" if result.status == "partial" else "serve.completed"
+            )
+            self._results.append(result)
+
+    def _evaluate(self, pending: _Pending, source: CacheReadSource) -> QueryResult:
+        """Run one query's online phase over the wave cache (pure reads)."""
+        request = pending.request
+        result = pending.result
+        assert result is not None  # filled by the accounting phase
+        evaluator = OnlineEvaluator(self.platform, pending.plans, answer_source=source)
+        estimates: dict[str, list[float]] = {t: [] for t in request.targets}
+        deadline_hit = False
+        for object_id in request.object_ids:
+            if (
+                request.deadline_s is not None
+                and self._clock() - pending.admitted_at > request.deadline_s
+            ):
+                deadline_hit = True
+                break
+            values = evaluator.estimate_object(object_id)
+            result.object_ids.append(object_id)
+            for target in request.targets:
+                estimates[target].append(values[target])
+        result.estimates = estimates
+        if request.predicate is not None:
+            predicate = request.predicate
+            result.selected = [
+                object_id
+                for object_id, value in zip(
+                    result.object_ids, estimates[predicate.target]
+                )
+                if predicate.matches(value)
+            ]
+        if deadline_hit:
+            result.status = "partial"
+            result.partial_reason = "deadline"
+            self.obs.tracer.event(
+                "serve.deadline",
+                query=request.query_id,
+                evaluated=len(result.object_ids),
+                requested=len(request.object_ids),
+            )
+        return result

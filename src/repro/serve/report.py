@@ -1,0 +1,342 @@
+"""Requests, per-query results and the serve report.
+
+The serving engine's unit of work is a :class:`QueryRequest` — target
+attributes, an optional selection predicate, the object set to
+evaluate, and an optional deadline.  Each produces a
+:class:`QueryResult` whose ``status`` says how the engine treated it:
+
+``completed``
+    Every requested object was estimated with its full ``b(a)``
+    answers.
+``partial``
+    Something was given up — the deadline expired mid-evaluation, or
+    budget exhaustion cut a purchase wave short — and
+    ``partial_reason`` says which.  Whatever was estimated is still
+    returned (flagged, never silently truncated).
+``shed``
+    Backpressure: the request never entered the engine because the
+    queue was full.
+
+A :class:`ServeReport` aggregates one :meth:`~repro.serve.engine.
+ServeEngine.run` call: all results plus the cache/batching economics
+(answers purchased vs. saved, cents spent vs. avoided), queue peak
+depth and throughput.  Everything serializes to JSON for the manifest's
+``serve`` section and for checkpointing completed queries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Comparison operators a predicate may use against an estimate.
+PREDICATE_OPS = {
+    ">=": lambda value, threshold: value >= threshold,
+    ">": lambda value, threshold: value > threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    "<": lambda value, threshold: value < threshold,
+}
+
+#: Legal values of :attr:`QueryResult.status`.
+STATUSES = ("completed", "partial", "shed")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A threshold filter over one target's estimates (``a >= 0.5``)."""
+
+    target: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in PREDICATE_OPS:
+            raise ConfigurationError(
+                f"unknown predicate operator {self.op!r}; "
+                f"choose from {sorted(PREDICATE_OPS)}"
+            )
+
+    def matches(self, value: float) -> bool:
+        return bool(PREDICATE_OPS[self.op](value, self.threshold))
+
+    def to_dict(self) -> dict:
+        return {"target": self.target, "op": self.op, "threshold": self.threshold}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Predicate":
+        return cls(
+            target=str(payload["target"]),
+            op=str(payload["op"]),
+            threshold=float(payload["threshold"]),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query to serve: targets, object set, optional predicate."""
+
+    query_id: str
+    targets: tuple[str, ...]
+    object_ids: tuple[int, ...]
+    predicate: Predicate | None = None
+    #: Wall-clock budget from admission to finished evaluation; ``None``
+    #: disables the deadline.  Estimates stay deterministic either way
+    #: (answers are pure per-key streams); only *how many* objects got
+    #: evaluated before the cutoff can vary with machine speed.
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.query_id:
+            raise ConfigurationError("a query request needs a non-empty id")
+        if not self.targets:
+            raise ConfigurationError(f"query {self.query_id!r} has no targets")
+        if not self.object_ids:
+            raise ConfigurationError(f"query {self.query_id!r} has no objects")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ConfigurationError(f"query {self.query_id!r} has a negative deadline")
+        if self.predicate is not None and self.predicate.target not in self.targets:
+            raise ConfigurationError(
+                f"query {self.query_id!r} filters on non-target "
+                f"{self.predicate.target!r}"
+            )
+
+
+def _parse_objects(spec, query_id: str) -> tuple[int, ...]:
+    """Object ids from a query-file entry: a list, or a range spec."""
+    if isinstance(spec, dict):
+        if set(spec) != {"range"} or len(spec["range"]) not in (2, 3):
+            raise ConfigurationError(
+                f"query {query_id!r}: object spec must be a list of ids or "
+                f'{{"range": [start, stop]}}'
+            )
+        return tuple(range(*[int(v) for v in spec["range"]]))
+    return tuple(int(object_id) for object_id in spec)
+
+
+def load_query_file(path: str | Path) -> list[QueryRequest]:
+    """Parse a ``queries.json`` workload into query requests.
+
+    The file is either a list of query objects or ``{"queries": [...]}``;
+    each query object looks like::
+
+        {"id": "q1", "targets": ["protein"],
+         "objects": [0, 1, 2] | {"range": [0, 60]},
+         "predicate": {"target": "protein", "op": ">=", "threshold": 20},
+         "deadline_s": 5.0}
+
+    ``predicate`` and ``deadline_s`` are optional.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"no query file at {path}") from None
+    except ValueError as exc:
+        raise ConfigurationError(f"query file {path} is not valid JSON: {exc}") from exc
+    entries = payload.get("queries") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError(
+            f"query file {path} must hold a non-empty list of queries"
+        )
+    requests = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"query file {path}: entry {position} is not an object"
+            )
+        query_id = str(entry.get("id", f"q{position}"))
+        predicate = entry.get("predicate")
+        requests.append(
+            QueryRequest(
+                query_id=query_id,
+                targets=tuple(str(t) for t in entry.get("targets", ())),
+                object_ids=_parse_objects(entry.get("objects", ()), query_id),
+                predicate=(
+                    Predicate.from_dict(predicate) if predicate is not None else None
+                ),
+                deadline_s=(
+                    float(entry["deadline_s"])
+                    if entry.get("deadline_s") is not None
+                    else None
+                ),
+            )
+        )
+    return requests
+
+
+@dataclass
+class QueryResult:
+    """What the engine produced for one request."""
+
+    query_id: str
+    status: str = "completed"
+    partial_reason: str | None = None
+    #: Object ids actually evaluated, in request order (a prefix of the
+    #: request's objects when a deadline expired).
+    object_ids: list[int] = field(default_factory=list)
+    #: target -> estimates aligned with :attr:`object_ids`.
+    estimates: dict[str, list[float]] = field(default_factory=dict)
+    #: Objects passing the predicate (``None`` without a predicate).
+    selected: list[int] | None = None
+    fresh_answers: int = 0
+    saved_answers: int = 0
+    spent_cents: float = 0.0
+    saved_cents: float = 0.0
+    #: True when a resumed run served this result from its checkpoint.
+    from_checkpoint: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ConfigurationError(f"unknown result status {self.status!r}")
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "query_id": self.query_id,
+            "status": self.status,
+            "object_ids": list(self.object_ids),
+            "estimates": {
+                target: list(values) for target, values in self.estimates.items()
+            },
+            "fresh_answers": self.fresh_answers,
+            "saved_answers": self.saved_answers,
+            "spent_cents": self.spent_cents,
+            "saved_cents": self.saved_cents,
+            "from_checkpoint": self.from_checkpoint,
+        }
+        if self.partial_reason is not None:
+            payload["partial_reason"] = self.partial_reason
+        if self.selected is not None:
+            payload["selected"] = list(self.selected)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResult":
+        return cls(
+            query_id=str(payload["query_id"]),
+            status=str(payload["status"]),
+            partial_reason=payload.get("partial_reason"),
+            object_ids=[int(oid) for oid in payload.get("object_ids", [])],
+            estimates={
+                str(target): [float(v) for v in values]
+                for target, values in payload.get("estimates", {}).items()
+            },
+            selected=(
+                [int(oid) for oid in payload["selected"]]
+                if payload.get("selected") is not None
+                else None
+            ),
+            fresh_answers=int(payload.get("fresh_answers", 0)),
+            saved_answers=int(payload.get("saved_answers", 0)),
+            spent_cents=float(payload.get("spent_cents", 0.0)),
+            saved_cents=float(payload.get("saved_cents", 0.0)),
+            from_checkpoint=bool(payload.get("from_checkpoint", False)),
+        )
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one engine run."""
+
+    results: list[QueryResult] = field(default_factory=list)
+    batches: int = 0
+    coalesced_questions: int = 0
+    peak_queue_depth: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    def result(self, query_id: str) -> QueryResult:
+        for result in self.results:
+            if result.query_id == query_id:
+                return result
+        raise ConfigurationError(f"no result for query {query_id!r}")
+
+    def _count(self, status: str) -> int:
+        return sum(1 for result in self.results if result.status == status)
+
+    @property
+    def completed(self) -> int:
+        return self._count("completed")
+
+    @property
+    def partial(self) -> int:
+        return self._count("partial")
+
+    @property
+    def shed(self) -> int:
+        return self._count("shed")
+
+    @property
+    def fresh_answers(self) -> int:
+        return sum(result.fresh_answers for result in self.results)
+
+    @property
+    def saved_answers(self) -> int:
+        return sum(result.saved_answers for result in self.results)
+
+    @property
+    def spent_cents(self) -> float:
+        return sum(result.spent_cents for result in self.results)
+
+    @property
+    def saved_cents(self) -> float:
+        return sum(result.saved_cents for result in self.results)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return (self.completed + self.partial) / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": len(self.results),
+            "completed": self.completed,
+            "partial": self.partial,
+            "shed": self.shed,
+            "batches": self.batches,
+            "coalesced_questions": self.coalesced_questions,
+            "fresh_answers": self.fresh_answers,
+            "saved_answers": self.saved_answers,
+            "spent_cents": self.spent_cents,
+            "saved_cents": self.saved_cents,
+            "peak_queue_depth": self.peak_queue_depth,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary table for the CLI."""
+        lines = [
+            f"served {len(self.results)} queries with {self.workers} worker(s): "
+            f"{self.completed} completed, {self.partial} partial, "
+            f"{self.shed} shed",
+            f"  spend: {self.spent_cents:.1f}c fresh "
+            f"({self.fresh_answers} answers), "
+            f"{self.saved_cents:.1f}c saved via cache "
+            f"({self.saved_answers} answers)",
+            f"  batching: {self.batches} dispatch wave(s), "
+            f"{self.coalesced_questions} questions coalesced away, "
+            f"peak queue depth {self.peak_queue_depth}",
+        ]
+        for result in self.results:
+            flag = ""
+            if result.status == "partial":
+                flag = f" [partial: {result.partial_reason}]"
+            elif result.status == "shed":
+                flag = " [shed]"
+            elif result.from_checkpoint:
+                flag = " [from checkpoint]"
+            selected = (
+                f", {len(result.selected)} selected"
+                if result.selected is not None
+                else ""
+            )
+            lines.append(
+                f"  {result.query_id}: {len(result.object_ids)} objects"
+                f"{selected}, {result.spent_cents:.1f}c spent, "
+                f"{result.saved_cents:.1f}c saved{flag}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Bounded-concurrency execution for the serving engine.
+
+:class:`BoundedScheduler` is a thin, deterministic wrapper around
+:class:`concurrent.futures.ThreadPoolExecutor`: ``run(fn, items)``
+applies ``fn`` to every item and returns the results **in item order**
+regardless of completion order, so downstream accounting never depends
+on thread scheduling.  With one worker it skips the executor entirely
+and runs serially — the ``--workers 1`` reference execution any
+concurrent run must byte-match.
+
+The engine only ever hands the scheduler *pure* work (answer
+generation from per-key RNG streams, read-only evaluation over a
+frozen cache); everything stateful — charging the ledger, journaling,
+inserting into the cache — stays serial in the engine.  That division
+is the determinism argument: parallel phases are side-effect-free,
+side-effecting phases are single-threaded in sorted key order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+class BoundedScheduler:
+    """Apply a function over items with at most ``workers`` threads."""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"the scheduler needs at least one worker, got {workers}"
+            )
+        self.workers = int(workers)
+
+    def run(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Iterable[ItemT],
+    ) -> list[ResultT]:
+        """``[fn(item) for item in items]``, possibly in parallel.
+
+        Results are ordered by input position.  The first exception any
+        task raises propagates (after the pool drains), matching the
+        serial path's behaviour closely enough for the engine, which
+        only schedules non-raising work here.
+        """
+        sequence: Sequence[ItemT] = list(items)
+        if self.workers == 1 or len(sequence) <= 1:
+            return [fn(item) for item in sequence]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, sequence))

@@ -1,0 +1,96 @@
+"""Deterministic per-key value-answer streams for the serving engine.
+
+The offline platform draws a fresh worker from a *shared* RNG for every
+question, which makes answers depend on global question order — fine
+for a serial research script, fatal for a concurrent serving engine
+that must give the same answers under ``--workers 1`` and
+``--workers 4``.  :class:`DeterministicValueStream` removes the shared
+state: answer ``i`` for ``(object, attribute)`` is a pure function of
+``(seed, object_id, attribute, i)``.  Each answer derives its own
+:class:`numpy.random.Generator` from that tuple, draws a worker index
+from it (uniform over the pool, matching
+:meth:`~repro.crowd.pool.WorkerPool.draw`), and asks that worker for a
+*stateless* answer (:meth:`~repro.crowd.worker.Worker.
+answer_value_stateless`) using the same generator.
+
+Consequences, all load-bearing for the serving engine:
+
+* **order independence** — concurrent purchases, batch coalescing and
+  thread scheduling cannot change any answer;
+* **resumability** — a crashed run's cache can be rebuilt from the
+  journal and the stream continues at index ``len(cache)`` with the
+  exact answers an uninterrupted run would have produced;
+* **replay determinism** — re-reading any prefix re-derives identical
+  values, so two runs over the same seed are comparable the way the
+  paper's recorded-answer database made its experiments comparable.
+
+Attribute names are folded in via ``zlib.crc32`` (stable across
+processes and Python versions), never ``hash()`` (salted per process).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.crowd.platform import CrowdPlatform
+from repro.domains.base import Domain
+
+
+def _attribute_key(attribute: str) -> int:
+    """A process-stable 32-bit key for one attribute name."""
+    return zlib.crc32(attribute.encode("utf-8")) & 0xFFFFFFFF
+
+
+class DeterministicValueStream:
+    """Pure-function value answers over one platform's domain and pool.
+
+    Parameters
+    ----------
+    platform:
+        Supplies the domain, the worker population and attribute-name
+        resolution (synonym surface forms map to the same canonical
+        attribute, hence the same stream).
+    seed:
+        Stream seed; defaults to the platform's own seed so a serving
+        run is pinned by the same single number as everything else.
+    """
+
+    def __init__(self, platform: CrowdPlatform, seed: int | None = None) -> None:
+        self.platform = platform
+        self.domain: Domain = platform.domain
+        self.seed = int(platform._seed if seed is None else seed)
+        self._workers = platform.pool.workers
+        # Canonical resolution is pure; memoize it off the hot path.
+        self._canonical: dict[str, str] = {}
+        self._attr_keys: dict[str, int] = {}
+
+    def _resolve(self, attribute: str) -> tuple[str, int]:
+        canonical = self._canonical.get(attribute)
+        if canonical is None:
+            canonical = self.platform.resolve(attribute)
+            self._canonical[attribute] = canonical
+            self._attr_keys[attribute] = _attribute_key(canonical)
+        return canonical, self._attr_keys[attribute]
+
+    def answer(self, object_id: int, attribute: str, index: int) -> float:
+        """Answer ``index`` of the ``(object, attribute)`` stream."""
+        canonical, attr_key = self._resolve(attribute)
+        rng = np.random.default_rng([self.seed, int(object_id), attr_key, int(index)])
+        worker = self._workers[int(rng.integers(0, len(self._workers)))]
+        return worker.answer_value_stateless(self.domain, object_id, canonical, rng)
+
+    def answers(
+        self, object_id: int, attribute: str, start: int, count: int
+    ) -> list[float]:
+        """Answers ``start .. start+count`` of one key's stream.
+
+        Per-index generators (rather than one generator advanced
+        ``count`` times) keep every answer independent of how purchases
+        are split into batches.
+        """
+        return [
+            self.answer(object_id, attribute, index)
+            for index in range(start, start + count)
+        ]

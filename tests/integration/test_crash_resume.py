@@ -6,11 +6,9 @@ produces a plan, model and ledger **bit-identical** to a run that never
 crashed, with zero re-purchased answers.
 """
 
-import json
-
 import pytest
 
-from repro.core.disq import PHASES, DisQParams
+from repro.core.disq import DisQParams
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
 from repro.domains import make_synthetic_domain

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.core.model import Query
 from repro.crowd.recording import AnswerRecorder
 from repro.experiments import (
     ALGORITHMS,

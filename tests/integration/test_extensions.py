@@ -1,8 +1,6 @@
 """Integration tests wiring the extension features through real plans."""
 
 import numpy as np
-import pytest
-
 from repro.core.adaptive import AdaptiveOnlineEvaluator
 from repro.core.disq import DisQParams, DisQPlanner
 from repro.core.metrics import boolean_report

@@ -1,7 +1,5 @@
 """The parallel experiment engine is bit-identical to serial runs."""
 
-import numpy as np
-
 from repro.core.disq import DisQParams, DisQPlanner
 from repro.core.model import Query
 from repro.core.online import default_weights

@@ -1,0 +1,154 @@
+"""Integration: the serving engine against real DisQ plans.
+
+The headline claim of the serving layer: an overlapping multi-query
+workload through :class:`repro.serve.engine.ServeEngine` spends
+strictly less than evaluating each query independently, while the
+first query's estimates stay byte-identical to its independent run.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.disq import DisQParams, DisQPlanner
+from repro.core.online import OnlineEvaluator, default_weights
+from repro.core.model import Query
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.serve import CachedAnswerSource, QueryRequest, ServeEngine
+
+pytestmark = pytest.mark.serve
+
+SEED = 3
+TARGET = "target"
+WINDOW_A = tuple(range(0, 40))
+WINDOW_B = tuple(range(20, 60))  # 20 objects shared with WINDOW_A
+
+
+@pytest.fixture
+def disq_plan(tiny_domain):
+    platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=SEED)
+    query = Query(
+        targets=(TARGET,), weights=default_weights(tiny_domain, (TARGET,))
+    )
+    return DisQPlanner(
+        platform, query, 4.0, 600.0, DisQParams(n1=40)
+    ).preprocess()
+
+
+def fresh_platform(domain) -> CrowdPlatform:
+    return CrowdPlatform(domain, recorder=AnswerRecorder(), seed=SEED)
+
+
+def independent(domain, plan, objects):
+    platform = fresh_platform(domain)
+    source = CachedAnswerSource(platform)
+    estimates = OnlineEvaluator(platform, plan, answer_source=source).evaluate(
+        objects
+    )
+    return estimates, platform.ledger.spent_by_category["value"]
+
+
+class TestServeVsIndependent:
+    def test_overlap_spends_strictly_less(self, tiny_domain, disq_plan):
+        est_a, spend_a = independent(tiny_domain, disq_plan, WINDOW_A)
+        est_b, spend_b = independent(tiny_domain, disq_plan, WINDOW_B)
+        baseline = spend_a + spend_b
+
+        platform = fresh_platform(tiny_domain)
+        engine = ServeEngine(platform)
+        engine.submit(QueryRequest("q0", (TARGET,), WINDOW_A), disq_plan)
+        engine.submit(QueryRequest("q1", (TARGET,), WINDOW_B), disq_plan)
+        report = engine.run()
+        serve_spend = platform.ledger.spent_by_category["value"]
+
+        assert serve_spend < baseline
+        assert report.saved_answers > 0
+        # The engine's savings accounting matches the ledger delta.
+        assert report.saved_cents == pytest.approx(baseline - serve_spend)
+
+        # Byte-identical estimates for the first-admitted query.
+        assert np.array_equal(
+            np.array(report.result("q0").estimates[TARGET]), est_a[TARGET]
+        )
+        # And the shared cache never changes what the second query sees
+        # for its *fresh* (unshared) objects either: spot-check one.
+        solo_b, _ = independent(tiny_domain, disq_plan, WINDOW_B[-1:])
+        assert (
+            report.result("q1").estimates[TARGET][-1] == solo_b[TARGET][0]
+        )
+
+    def test_disjoint_workload_saves_nothing(self, tiny_domain, disq_plan):
+        est_a, spend_a = independent(tiny_domain, disq_plan, WINDOW_A)
+        window_c = tuple(range(100, 140))
+        _, spend_c = independent(tiny_domain, disq_plan, window_c)
+
+        platform = fresh_platform(tiny_domain)
+        engine = ServeEngine(platform)
+        engine.submit(QueryRequest("q0", (TARGET,), WINDOW_A), disq_plan)
+        engine.submit(QueryRequest("q1", (TARGET,), window_c), disq_plan)
+        report = engine.run()
+
+        assert platform.ledger.spent_by_category["value"] == pytest.approx(
+            spend_a + spend_c
+        )
+        assert report.saved_answers == 0
+        assert np.array_equal(
+            np.array(report.result("q0").estimates[TARGET]), est_a[TARGET]
+        )
+
+
+class TestServeCli:
+    def test_cli_smoke_writes_valid_manifest(self, tmp_path):
+        """`repro serve` on a tiny two-query workload: exercised exactly
+        like CI's serve-smoke job, including manifest validation."""
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "queries": [
+                        {"targets": ["protein"], "objects": {"range": [0, 12]}},
+                        {"targets": ["protein"], "objects": {"range": [6, 18]}},
+                    ]
+                }
+            )
+        )
+        manifest_path = tmp_path / "manifest.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--domain",
+                "recipes",
+                "--queries",
+                str(queries),
+                "--n-objects",
+                "60",
+                "--n1",
+                "24",
+                "--b-prc",
+                "300",
+                "--manifest",
+                str(manifest_path),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parents[2],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "completed" in result.stdout
+
+        manifest = json.loads(manifest_path.read_text())
+        serve = manifest["serve"]
+        assert serve["queries"] == 2
+        assert serve["completed"] == 2
+        assert serve["answers_saved"] > 0
+        assert serve["saved_cents"] > 0
+        assert serve["cache_hits"] == serve["answers_saved"]

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.statistics import (
-    ExamplePool,
     StatisticsStore,
     variance_estimate,
 )

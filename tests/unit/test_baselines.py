@@ -76,7 +76,7 @@ class TestPairingVariants:
         planner = make_full_planner(
             tiny_platform, Query(targets=("target", "helper")), 4.0, 2500.0, fast_params
         )
-        plan = planner.preprocess()
+        planner.preprocess()
         stats = planner.stats
         for attribute in stats.attributes:
             assert stats.pairings[attribute] == {"target", "helper"}
@@ -85,7 +85,7 @@ class TestPairingVariants:
         planner = make_one_connection_planner(
             tiny_platform, Query(targets=("target", "helper")), 4.0, 2500.0, fast_params
         )
-        plan = planner.preprocess()
+        planner.preprocess()
         stats = planner.stats
         new_attributes = [
             a for a in stats.attributes if a not in ("target", "helper")

@@ -41,7 +41,7 @@ class TestExhaustionFloor:
         platform = CrowdPlatform(tiny_domain, recorder=AnswerRecorder(), seed=0)
         params = DisQParams(n1=20, min_probability_new=0.05)  # floor at ~18 asks
         planner = DisQPlanner(platform, Query.single("target"), 2.0, 2000.0, params)
-        plan = planner.preprocess()
+        planner.preprocess()
         max_asked = max(planner._question_counts.values())
         assert max_asked <= 19  # 1/(n+2) >= 0.05 -> n <= 18
 

@@ -35,7 +35,6 @@ class TestNearestCorrelation:
 
 class TestSpecValidation:
     def test_duplicate_names_rejected(self):
-        spec = make_tiny_spec()
         with pytest.raises(ConfigurationError):
             GaussianDomainSpec(
                 names=("a", "a"),

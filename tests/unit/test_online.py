@@ -93,6 +93,37 @@ class TestOnlineEvaluator:
         # At most one skip per object: the per-plan loop breaks.
         assert len(skipped_objects) == len(set(skipped_objects))
 
+    def test_invariant_setup_hoisted_out_of_object_loop(self):
+        # Regression: the evaluator used to rebuild each plan's
+        # (attribute, count) pairs and re-resolve every attribute's
+        # price inside the per-object loop.  Both are invariant across
+        # objects, so the platform must see value_price once per
+        # attribute and exactly one ask_value per (object, attribute).
+        from repro.obs import NULL_OBS
+
+        class CountingPlatform:
+            obs = NULL_OBS
+
+            def __init__(self):
+                self.value_price_calls = 0
+                self.ask_value_calls = 0
+
+            def value_price(self, attribute):
+                self.value_price_calls += 1
+                return 0.4
+
+            def ask_value(self, object_id, attribute, n):
+                self.ask_value_calls += 1
+                return [1.0] * n
+
+        platform = CountingPlatform()
+        evaluator = OnlineEvaluator(platform, identity_plan("target", 4))
+        evaluator.per_object_cost()
+        evaluator.per_object_cost()
+        evaluator.evaluate(range(10))
+        assert platform.value_price_calls == 1  # cached, not per call
+        assert platform.ask_value_calls == 10  # one fetch per object
+
     def test_budget_skips_feed_metrics_and_tracer(self, tiny_domain):
         from repro.crowd.platform import CrowdPlatform
         from repro.crowd.pricing import Budget

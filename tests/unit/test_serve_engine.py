@@ -1,0 +1,323 @@
+"""Unit tests for the serving engine, scheduler and report objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    BudgetDistribution,
+    EstimationFormula,
+    PreprocessingPlan,
+    Query,
+)
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.pricing import Budget
+from repro.crowd.recording import AnswerRecorder
+from repro.errors import ConfigurationError
+from repro.serve import (
+    BoundedScheduler,
+    Predicate,
+    QueryRequest,
+    QueryResult,
+    ServeEngine,
+    ServeReport,
+    load_query_file,
+)
+
+
+def identity_plan(target: str, n_questions: int = 4) -> PreprocessingPlan:
+    budget = BudgetDistribution({target: n_questions})
+    formula = EstimationFormula(target, {target: 1.0}, 0.0, budget)
+    return PreprocessingPlan(
+        query=Query.single(target),
+        attributes=(target,),
+        budget=budget,
+        formulas={target: formula},
+    )
+
+
+def make_engine(domain, **kwargs) -> tuple[ServeEngine, CrowdPlatform]:
+    platform = CrowdPlatform(
+        domain, recorder=AnswerRecorder(), seed=3, budget=kwargs.pop("budget", None)
+    )
+    return ServeEngine(platform, **kwargs), platform
+
+
+class TestBoundedScheduler:
+    def test_preserves_input_order(self):
+        scheduler = BoundedScheduler(workers=4)
+        assert scheduler.run(lambda x: x * x, range(20)) == [
+            x * x for x in range(20)
+        ]
+
+    def test_serial_path(self):
+        assert BoundedScheduler(workers=1).run(str, [1, 2]) == ["1", "2"]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            BoundedScheduler(workers=0)
+
+
+class TestServeRequests:
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryRequest("", ("a",), (1,))
+        with pytest.raises(ConfigurationError):
+            QueryRequest("q", (), (1,))
+        with pytest.raises(ConfigurationError):
+            QueryRequest("q", ("a",), ())
+        with pytest.raises(ConfigurationError):
+            QueryRequest("q", ("a",), (1,), deadline_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            QueryRequest(
+                "q", ("a",), (1,), predicate=Predicate("other", ">=", 0.0)
+            )
+
+    def test_predicate_ops(self):
+        assert Predicate("a", ">=", 1.0).matches(1.0)
+        assert not Predicate("a", ">", 1.0).matches(1.0)
+        assert Predicate("a", "<", 2.0).matches(1.0)
+        with pytest.raises(ConfigurationError):
+            Predicate("a", "!=", 1.0)
+
+    def test_result_roundtrip(self):
+        result = QueryResult(
+            query_id="q",
+            status="partial",
+            partial_reason="deadline",
+            object_ids=[1, 2],
+            estimates={"a": [0.5, 0.75]},
+            selected=[2],
+            fresh_answers=3,
+            saved_answers=1,
+            spent_cents=1.2,
+            saved_cents=0.4,
+        )
+        assert QueryResult.from_dict(result.to_dict()) == result
+
+    def test_query_file_parsing(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(
+            '{"queries": [{"id": "qa", "targets": ["a"],'
+            ' "objects": {"range": [0, 3]},'
+            ' "predicate": {"target": "a", "op": ">=", "threshold": 1}},'
+            ' {"targets": ["b"], "objects": [7, 9]}]}'
+        )
+        first, second = load_query_file(path)
+        assert first.query_id == "qa"
+        assert first.object_ids == (0, 1, 2)
+        assert first.predicate.threshold == 1.0
+        assert second.query_id == "q1"  # positional default
+        assert second.object_ids == (7, 9)
+        assert second.predicate is None
+
+    def test_query_file_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_query_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            load_query_file(bad)
+
+
+class TestServeEngine:
+    def test_overlap_buys_each_answer_once(self, tiny_domain):
+        engine, platform = make_engine(tiny_domain)
+        plan = identity_plan("target", 4)
+        engine.submit(QueryRequest("q1", ("target",), (0, 1, 2)), plan)
+        engine.submit(QueryRequest("q2", ("target",), (1, 2, 3)), plan)
+        report = engine.run()
+        # Union is 4 objects x 4 answers; the 2 shared objects are hits
+        # for the second query.
+        assert platform.ledger.questions_by_category["value"] == 16
+        assert report.result("q2").saved_answers == 8
+        assert report.result("q2").fresh_answers == 4
+        assert report.result("q1").saved_answers == 0
+        assert report.coalesced_questions == 8
+
+    def test_wave_coalescing_takes_max_demand(self, tiny_domain):
+        engine, platform = make_engine(tiny_domain)
+        engine.submit(
+            QueryRequest("small", ("target",), (0,)), identity_plan("target", 2)
+        )
+        engine.submit(
+            QueryRequest("large", ("target",), (0,)), identity_plan("target", 6)
+        )
+        engine.run()
+        # One purchase of max(2, 6) answers, not 2 + 6.
+        assert platform.ledger.questions_by_category["value"] == 6
+
+    def test_estimates_identical_across_worker_counts(self, tiny_domain):
+        def run(workers):
+            engine, platform = make_engine(tiny_domain, workers=workers)
+            plan = identity_plan("target", 4)
+            engine.submit(QueryRequest("q1", ("target",), tuple(range(8))), plan)
+            engine.submit(QueryRequest("q2", ("target",), tuple(range(4, 12))), plan)
+            report = engine.run()
+            payload = report.to_dict()
+            payload.pop("wall_seconds")
+            payload.pop("workers")
+            return payload, platform.ledger.snapshot()
+
+        assert run(1) == run(4)
+
+    def test_sheds_beyond_max_queue(self, tiny_domain):
+        engine, _ = make_engine(tiny_domain, max_queue=1)
+        plan = identity_plan("target")
+        assert engine.submit(QueryRequest("q1", ("target",), (0,)), plan)
+        assert not engine.submit(QueryRequest("q2", ("target",), (1,)), plan)
+        report = engine.run()
+        assert report.shed == 1
+        assert report.result("q2").status == "shed"
+        assert report.result("q2").object_ids == []
+        # The shed query spent nothing.
+        assert report.result("q2").spent_cents == 0.0
+
+    def test_duplicate_query_id_rejected(self, tiny_domain):
+        engine, _ = make_engine(tiny_domain)
+        plan = identity_plan("target")
+        engine.submit(QueryRequest("q1", ("target",), (0,)), plan)
+        with pytest.raises(ConfigurationError):
+            engine.submit(QueryRequest("q1", ("target",), (1,)), plan)
+
+    def test_missing_plan_target_rejected(self, tiny_domain):
+        engine, _ = make_engine(tiny_domain)
+        with pytest.raises(ConfigurationError):
+            engine.submit(
+                QueryRequest("q1", ("target", "helper"), (0,)),
+                identity_plan("target"),
+            )
+
+    def test_predicate_selects_objects(self, tiny_domain):
+        engine, _ = make_engine(tiny_domain)
+        engine.submit(
+            QueryRequest(
+                "q1",
+                ("target",),
+                tuple(range(12)),
+                predicate=Predicate("target", ">=", 10.0),
+            ),
+            identity_plan("target", 30),
+        )
+        report = engine.run()
+        result = report.result("q1")
+        estimates = dict(zip(result.object_ids, result.estimates["target"]))
+        assert result.selected == [
+            oid for oid in result.object_ids if estimates[oid] >= 10.0
+        ]
+
+    def test_deadline_returns_flagged_prefix(self, tiny_domain):
+        ticks = iter(range(1000))
+
+        def clock():
+            return float(next(ticks))
+
+        engine, _ = make_engine(tiny_domain, clock=clock)
+        engine.submit(
+            QueryRequest("q1", ("target",), tuple(range(10)), deadline_s=2.0),
+            identity_plan("target"),
+        )
+        report = engine.run()
+        result = report.result("q1")
+        assert result.status == "partial"
+        assert result.partial_reason == "deadline"
+        assert 0 < len(result.object_ids) < 10
+        assert len(result.estimates["target"]) == len(result.object_ids)
+
+    def test_budget_exhaustion_flags_partial(self, tiny_domain):
+        # 4 numeric answers cost 1.6c; allow only the first object's worth.
+        engine, platform = make_engine(tiny_domain, budget=Budget(1.7))
+        engine.submit(
+            QueryRequest("q1", ("target",), (0, 1)), identity_plan("target", 4)
+        )
+        report = engine.run()
+        result = report.result("q1")
+        assert result.status == "partial"
+        assert result.partial_reason == "budget"
+        # Both objects evaluated; the unfunded one degraded, not dropped.
+        assert len(result.object_ids) == 2
+        assert platform.ledger.questions_by_category["value"] == 4
+
+    def test_checkpoint_resume_without_repurchase(self, tiny_domain, tmp_path):
+        plan = identity_plan("target", 4)
+        requests = [
+            QueryRequest("q1", ("target",), tuple(range(6))),
+            QueryRequest("q2", ("target",), tuple(range(3, 9))),
+        ]
+
+        reference_engine, reference_platform = make_engine(tiny_domain)
+        for request in requests:
+            reference_engine.submit(request, plan)
+        reference = reference_engine.run()
+
+        # Serve only the first wave, checkpoint, then "crash".
+        crashed, crashed_platform = make_engine(
+            tiny_domain, wave_size=1, checkpoint_dir=tmp_path
+        )
+        for request in requests:
+            crashed.submit(request, plan)
+        wave, crashed._queue = crashed._queue[:1], crashed._queue[1:]
+        crashed._serve_wave(wave)
+        crashed._checkpoint()
+        crashed.close()
+
+        resumed_engine, resumed_platform = make_engine(
+            tiny_domain, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed_engine.resumed
+        for request in requests:
+            resumed_engine.submit(request, plan)
+        resumed = resumed_engine.run()
+        resumed_engine.close()
+
+        assert resumed.result("q1").from_checkpoint
+        for query_id in ("q1", "q2"):
+            assert np.array_equal(
+                np.array(resumed.result(query_id).estimates["target"]),
+                np.array(reference.result(query_id).estimates["target"]),
+            )
+        assert resumed_platform.ledger.total_spent == pytest.approx(
+            reference_platform.ledger.total_spent
+        )
+
+    def test_journal_tail_recharges_unchecked_answers(self, tiny_domain, tmp_path):
+        # Crash *between* journal writes and the wave checkpoint: the
+        # journal runs ahead; resume must re-charge and reuse its tail.
+        plan = identity_plan("target", 4)
+        crashed, crashed_platform = make_engine(
+            tiny_domain, checkpoint_dir=tmp_path
+        )
+        crashed.submit(QueryRequest("q1", ("target",), (0, 1)), plan)
+        wave, crashed._queue = crashed._queue[:1], crashed._queue[1:]
+        crashed._serve_wave(wave)  # journaled, but never checkpointed
+        crashed.close()
+        spent = crashed_platform.ledger.total_spent
+        assert spent > 0
+
+        resumed, resumed_platform = make_engine(
+            tiny_domain, checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.restored_answers == 8
+        assert resumed_platform.ledger.total_spent == pytest.approx(spent)
+        resumed.submit(QueryRequest("q1", ("target",), (0, 1)), plan)
+        report = resumed.run()
+        resumed.close()
+        # Fully served from the restored cache: no new spend.
+        assert resumed_platform.ledger.total_spent == pytest.approx(spent)
+        assert report.result("q1").saved_answers == 8
+
+    def test_resume_requires_checkpoint_dir(self, tiny_domain):
+        with pytest.raises(ConfigurationError):
+            make_engine(tiny_domain, resume=True)
+
+    def test_report_lookup_and_counts(self):
+        report = ServeReport(
+            results=[
+                QueryResult(query_id="a"),
+                QueryResult(query_id="b", status="shed"),
+            ]
+        )
+        assert report.completed == 1
+        assert report.shed == 1
+        assert report.result("a").query_id == "a"
+        with pytest.raises(ConfigurationError):
+            report.result("missing")

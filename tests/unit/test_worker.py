@@ -28,7 +28,6 @@ class TestHonestWorkerValues:
 
     def test_skill_scales_noise(self, tiny_domain):
         sharp = HonestWorker(0, seed=1, skill=0.01)
-        truth = tiny_domain.true_value(3, "target")
         answers = [sharp.answer_value(tiny_domain, 3, "target") for _ in range(50)]
         assert np.std(answers) < 0.3
 
