@@ -44,6 +44,7 @@ from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
 from repro.durability import run_disq
 from repro.experiments.runner import make_query
+from repro.obs import Observability
 from repro.serve import CachedAnswerSource, QueryRequest, ServeEngine
 
 from common import recipes_domain, write_report
@@ -74,9 +75,9 @@ def make_plan(b_prc: float, n1: int):
     return run.plan
 
 
-def fresh_platform() -> CrowdPlatform:
+def fresh_platform(obs: Observability | None = None) -> CrowdPlatform:
     return CrowdPlatform(
-        recipes_domain(), recorder=AnswerRecorder(), seed=SEED
+        recipes_domain(), recorder=AnswerRecorder(), seed=SEED, obs=obs
     )
 
 
@@ -90,9 +91,9 @@ def independent_run(plan, objects) -> tuple[dict, float]:
     return estimates, platform.ledger.spent_by_category["value"]
 
 
-def serve_run(plan, windows, workers: int):
+def serve_run(plan, windows, workers: int, obs: Observability | None = None):
     """The same workload through the engine; (report, value spend)."""
-    platform = fresh_platform()
+    platform = fresh_platform(obs)
     engine = ServeEngine(platform, workers=workers)
     for index, window in enumerate(windows):
         engine.submit(
@@ -147,15 +148,29 @@ def sweep_overlaps(plan, overlaps, m: int) -> list[dict]:
 
 
 def check_determinism(plan, m: int, worker_counts=(1, 4)) -> dict:
-    """Same workload under several worker counts must match exactly."""
+    """Same workload under several worker counts must match exactly.
+
+    Each run also records per-phase wall clock (``serve.purchase``,
+    ``serve.evaluate``, ...): the serial commit/accounting phases are
+    fixed cost at any worker count, so when ``--workers 4`` shows
+    little end-to-end speedup, the phase table says which serial slice
+    is the reason rather than leaving an unexplained flat line.
+    """
     windows = overlap_windows(m, 0.5)
     reference = None
     reference_spend = None
     throughput = {}
+    phases = {}
     for workers in worker_counts:
+        obs = Observability.collecting()
         started = time.perf_counter()
-        report, spend = serve_run(plan, windows, workers=workers)
+        report, spend = serve_run(plan, windows, workers=workers, obs=obs)
         throughput[f"workers_{workers}_wall_s"] = time.perf_counter() - started
+        phases[f"workers_{workers}"] = {
+            path: round(seconds, 6)
+            for path, seconds in obs.tracer.phase_seconds().items()
+            if path.startswith("serve")
+        }
         payload = comparable(report)
         if reference is None:
             reference, reference_spend = payload, spend
@@ -169,6 +184,7 @@ def check_determinism(plan, m: int, worker_counts=(1, 4)) -> dict:
         "worker_counts": list(worker_counts),
         "identical_reports": True,
         "identical_spend": True,
+        "phases": phases,
         **throughput,
     }
 

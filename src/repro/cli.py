@@ -25,6 +25,7 @@ from pathlib import Path
 from repro.core.disq import DisQParams
 from repro.core.online import OnlineEvaluator, query_error
 from repro.core.tuning import optimize_budget_split
+from repro.crowd.faults import FaultProfile
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
 from repro.domains import (
@@ -128,6 +129,46 @@ def _make_chaos(args) -> CrashInjector | None:
     if getattr(args, "chaos_after", None) is None:
         return None
     return CrashInjector(at_interactions=args.chaos_after)
+
+
+def _validate_cents(name: str, value: float) -> float:
+    """Admission-time budget validation: finite and non-negative.
+
+    ``float("nan") < 0`` is False, so without an explicit finiteness
+    check a NaN budget would sail through every downstream comparison
+    and silently disable budget enforcement.
+    """
+    if not math.isfinite(value) or value < 0:
+        raise ConfigurationError(
+            f"{name} must be a finite, non-negative cent amount, got {value!r}"
+        )
+    return float(value)
+
+
+def _parse_fault_profile(spec: str | None) -> FaultProfile | None:
+    """``--fault-profile RATE[:LATENCY]`` into a uniform fault profile.
+
+    ``RATE`` is the per-category fault rate in [0, 1); ``LATENCY`` the
+    mean simulated answer latency in seconds (default 0 — faults
+    without latency).  ``0`` (or omitting the flag) disables injection.
+    """
+    if spec is None:
+        return None
+    head, _, tail = spec.partition(":")
+    try:
+        rate = float(head)
+        latency = float(tail) if tail else 0.0
+    except ValueError:
+        raise ConfigurationError(
+            f"--fault-profile must be RATE or RATE:LATENCY, got {spec!r}"
+        ) from None
+    if not math.isfinite(rate) or not 0.0 <= rate < 1.0:
+        raise ConfigurationError(f"fault rate must be in [0, 1), got {head!r}")
+    if not math.isfinite(latency) or latency < 0:
+        raise ConfigurationError(f"fault latency must be >= 0, got {tail!r}")
+    if rate == 0.0 and latency == 0.0:
+        return None
+    return FaultProfile.uniform(rate, latency_mean=latency)
 
 
 def _check_durability_flags(args) -> None:
@@ -253,6 +294,9 @@ def cmd_serve(args) -> int:
     import json
 
     _check_durability_flags(args)
+    _validate_cents("--b-obj", args.b_obj)
+    _validate_cents("--b-prc", args.b_prc)
+    faults = _parse_fault_profile(args.fault_profile)
     obs = _make_obs(args)
     domain = DOMAINS[args.domain](n_objects=args.n_objects, seed=args.seed)
     platform = CrowdPlatform(
@@ -266,6 +310,9 @@ def cmd_serve(args) -> int:
         wave_size=args.wave_size,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        faults=faults,
+        chaos=_make_chaos(args),
+        shed_expired=args.shed_expired,
     )
     if engine.resumed:
         print(
@@ -458,8 +505,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--out", metavar="PATH", default=None, help="write the full report JSON here"
     )
+    serve.add_argument(
+        "--fault-profile",
+        metavar="RATE[:LATENCY]",
+        default=None,
+        help="inject crowd faults: uniform fault rate in [0,1), optional "
+        "mean simulated latency seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--shed-expired",
+        action="store_true",
+        help="shed (instead of degrading) queries whose deadline already "
+        "passed when their wave formed",
+    )
     _add_manifest(serve)
-    _add_durability(serve)
+    _add_durability(serve, chaos=True)
     serve.set_defaults(handler=cmd_serve)
 
     sweep = commands.add_parser("sweep", help="budget sweep across algorithms")

@@ -226,6 +226,81 @@ class FaultOutcome:
     latency: float = 0.0
 
 
+#: Validation margin for value answers, in answer-range spans.  Honest
+#: noise can stray a little outside the plausible range; injected
+#: garbage lands at least 10 spans out, so the margin separates them
+#: deterministically.
+VALUE_MARGIN_SPANS = 5.0
+
+
+def plausible_value(answer: object, low: float, high: float) -> bool:
+    """Whether one value answer passes the platform's validation.
+
+    Finite, numeric (bool excluded) and within :data:`VALUE_MARGIN_SPANS`
+    answer-range spans of ``[low, high]``.  This is the single
+    definition both the offline platform and the serving engine's fault
+    layer use, so garbage is rejected identically everywhere.
+    """
+    if not isinstance(answer, (int, float)) or isinstance(answer, bool):
+        return False
+    if not math.isfinite(float(answer)):
+        return False
+    margin = VALUE_MARGIN_SPANS * max(high - low, 1.0)
+    return low - margin <= float(answer) <= high + margin
+
+
+def draw_outcome(
+    rates: FaultRates, proneness: float, rng: np.random.Generator
+) -> FaultOutcome:
+    """Draw one interaction outcome from explicit rates and an RNG.
+
+    The pure core of :meth:`FaultInjector.draw`: all randomness comes
+    from the caller's generator, so callers that derive the generator
+    from coordinates (the serving engine's per-answer streams) get
+    outcomes that are pure functions of those coordinates.  Draw order
+    (latency first, then the fault roll) is load-bearing: it must match
+    the injector's historical order so enabling the shared-RNG path
+    reproduces old runs.
+    """
+    latency = 0.0
+    if rates.latency_mean > 0:
+        latency = float(rng.exponential(rates.latency_mean))
+    p_timeout = min(rates.timeout * proneness, 1.0)
+    p_abandon = min(rates.abandon * proneness, 1.0)
+    p_garbage = min(rates.garbage * proneness, 1.0)
+    roll = float(rng.random())
+    if roll < p_timeout:
+        kind = FaultKind.TIMEOUT
+    elif roll < p_timeout + p_abandon:
+        kind = FaultKind.ABANDON
+    elif roll < p_timeout + p_abandon + p_garbage:
+        kind = FaultKind.GARBAGE
+    else:
+        kind = FaultKind.OK
+    return FaultOutcome(kind=kind, latency=latency)
+
+
+def corrupted_value(
+    answer_range: tuple[float, float], rng: np.random.Generator
+) -> float:
+    """A malformed value answer drawn from an explicit RNG.
+
+    All corruption modes are *detectably* malformed —
+    :func:`plausible_value` rejects every one of them, so garbage
+    manifests as retries rather than silent estimate poisoning
+    (in-range plausible garbage is the spam filter's job, not this
+    one's).
+    """
+    low, high = answer_range
+    span = max(high - low, 1.0)
+    mode = int(rng.integers(0, 3))
+    if mode == 0:
+        return float("nan")
+    if mode == 1:
+        return float(high + span * float(rng.uniform(10.0, 100.0)))
+    return float(low - span * float(rng.uniform(10.0, 100.0)))
+
+
 class FaultInjector:
     """Draws fault outcomes and corrupts answers, per a profile.
 
@@ -265,43 +340,19 @@ class FaultInjector:
         ``proneness`` scales the per-worker fault probabilities (see
         ``Worker.fault_proneness``); 1.0 is an average worker.
         """
-        rates = self.profile.rates_for(category)
-        latency = 0.0
-        if rates.latency_mean > 0:
-            latency = float(self._rng.exponential(rates.latency_mean))
-        p_timeout = min(rates.timeout * proneness, 1.0)
-        p_abandon = min(rates.abandon * proneness, 1.0)
-        p_garbage = min(rates.garbage * proneness, 1.0)
-        roll = float(self._rng.random())
-        if roll < p_timeout:
-            kind = FaultKind.TIMEOUT
-        elif roll < p_timeout + p_abandon:
-            kind = FaultKind.ABANDON
-        elif roll < p_timeout + p_abandon + p_garbage:
-            kind = FaultKind.GARBAGE
-        else:
-            kind = FaultKind.OK
-        self.counts[kind] += 1
-        if self.metrics is not None and kind is not FaultKind.OK:
-            self.metrics.inc(f"crowd.faults.{kind.value}")
-        return FaultOutcome(kind=kind, latency=latency)
+        outcome = draw_outcome(self.profile.rates_for(category), proneness, self._rng)
+        self.counts[outcome.kind] += 1
+        if self.metrics is not None and outcome.kind is not FaultKind.OK:
+            self.metrics.inc(f"crowd.faults.{outcome.kind.value}")
+        return outcome
 
     def corrupt_value(self, answer_range: tuple[float, float]) -> float:
         """A malformed value answer: NaN or far out of plausible range.
 
-        All corruption modes are *detectably* malformed — the platform's
-        validation rejects them, so garbage manifests as retries rather
-        than silent estimate poisoning (in-range plausible garbage is
-        the spam filter's job, not this one's).
+        Delegates to :func:`corrupted_value` with the injector's private
+        RNG; see there for why every mode is detectably malformed.
         """
-        low, high = answer_range
-        span = max(high - low, 1.0)
-        mode = int(self._rng.integers(0, 3))
-        if mode == 0:
-            return float("nan")
-        if mode == 1:
-            return float(high + span * float(self._rng.uniform(10.0, 100.0)))
-        return float(low - span * float(self._rng.uniform(10.0, 100.0)))
+        return corrupted_value(answer_range, self._rng)
 
     def corrupt_token(self) -> str:
         """A malformed dismantling answer (an unknown token)."""

@@ -43,6 +43,7 @@ from repro.crowd.faults import (
     ResilienceReport,
     RetryPolicy,
     SimulatedClock,
+    plausible_value,
 )
 from repro.crowd.normalization import AttributeNormalizer
 from repro.crowd.pool import WorkerPool
@@ -61,11 +62,6 @@ from repro.errors import (
 )
 from repro.obs import NULL_OBS, Observability
 
-#: Validation margin for value answers, in answer-range spans.  Honest
-#: noise can stray a little outside the plausible range; injected
-#: garbage lands at least 10 spans out, so the margin separates them
-#: deterministically.
-_VALUE_MARGIN_SPANS = 5.0
 
 
 class CrowdPlatform:
@@ -266,6 +262,22 @@ class CrowdPlatform:
         self._charge("value", cost, count)
         return cost
 
+    def check_values_affordable(self, attribute: str, count: int) -> float:
+        """Budget pre-check for ``count`` value questions (no debit).
+
+        The serving engine's write-ahead commit wants *journal before
+        charge* (so a crash inside the charge re-charges from the
+        journal instead of losing paid answers), but must never journal
+        answers it cannot pay for.  This is the check it runs first.
+        Raises :class:`~repro.errors.BudgetExhaustedError`; returns the
+        cost that passed.
+        """
+        if count <= 0:
+            return 0.0
+        cost = count * self.value_price(attribute)
+        self._check_affordable(cost)
+        return cost
+
     def record_value_savings(self, attribute: str, count: int) -> float:
         """Record ``count`` cache-served value answers as ledger savings.
 
@@ -335,12 +347,7 @@ class CrowdPlatform:
         raise last_error
 
     def _valid_value(self, answer: object, low: float, high: float) -> bool:
-        if not isinstance(answer, (int, float)) or isinstance(answer, bool):
-            return False
-        if not math.isfinite(float(answer)):
-            return False
-        margin = _VALUE_MARGIN_SPANS * max(high - low, 1.0)
-        return low - margin <= float(answer) <= high + margin
+        return plausible_value(answer, low, high)
 
     def _resilient_value(self, object_id: int, canonical: str) -> float:
         low, high = self.domain.answer_range(canonical)

@@ -15,6 +15,21 @@ from __future__ import annotations
 from repro.core.disq import PHASES
 from repro.errors import ConfigurationError
 
+#: Kill points inside the serving engine's wave loop, in wave order.
+#: ``serve.need`` fires after the serial need-computation, ``serve.
+#: generate`` after parallel answer generation (before any side
+#: effect), ``serve.commit`` after the charge/journal/insert loop,
+#: ``serve.evaluate`` after query evaluation, and ``serve.wave`` after
+#: the wave checkpoint is written — mirroring the offline pipeline's
+#: post-checkpoint phase boundaries.
+SERVE_PHASES = (
+    "serve.need",
+    "serve.generate",
+    "serve.commit",
+    "serve.evaluate",
+    "serve.wave",
+)
+
 
 class SimulatedCrash(Exception):
     """A simulated process death (not a :class:`~repro.errors.ReproError`).
@@ -45,8 +60,9 @@ class CrashInjector:
         mimicking a process death between two interactions.
     at_phase:
         Crash at this phase boundary (one of
-        :data:`~repro.core.disq.PHASES`), after its checkpoint is
-        saved.
+        :data:`~repro.core.disq.PHASES` for the offline pipeline, or
+        :data:`SERVE_PHASES` for the serving engine's wave loop),
+        after its checkpoint is saved.
 
     The injector fires at most once (``crashed`` stays True after), so
     a resumed run that re-crosses the recorded interaction count — as a
@@ -67,9 +83,10 @@ class CrashInjector:
             raise ConfigurationError(
                 f"at_interactions must be >= 1: {at_interactions}"
             )
-        if at_phase is not None and at_phase not in PHASES:
+        if at_phase is not None and at_phase not in PHASES + SERVE_PHASES:
             raise ConfigurationError(
-                f"unknown phase {at_phase!r}; choose from {PHASES}"
+                f"unknown phase {at_phase!r}; choose from "
+                f"{PHASES + SERVE_PHASES}"
             )
         self.at_interactions = at_interactions
         self.at_phase = at_phase

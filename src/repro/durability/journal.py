@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.crowd.pricing import CostLedger
@@ -214,6 +214,29 @@ class Journal:
             }
         )
 
+    def record_lost(self, key, count: int) -> None:
+        """Journal value answers lost to exhausted retries for one key.
+
+        The serving engine's fault-injected stream consumes one stream
+        index per *attempted* answer, obtained or not, so its per-key
+        stream cursor runs ahead of the cache by the number of lost
+        answers.  Journaling each loss keeps that cursor durable: a
+        resumed run replays ``Σ count`` per key and continues the
+        stream exactly where the crashed run would have, never
+        re-drawing (or double-buying) an index it already consumed.
+        """
+        if count < 1:
+            raise ConfigurationError(f"lost count must be >= 1: {count}")
+        object_id, attribute = key
+        self.append(
+            {
+                "kind": "lost",
+                "object": int(object_id),
+                "attribute": str(attribute),
+                "count": int(count),
+            }
+        )
+
     def mark_resume(self, phase: str, recorder: AnswerRecorder, ledger: CostLedger) -> None:
         """Append a resume marker rewinding replay to a checkpoint state.
 
@@ -265,12 +288,17 @@ class JournalReplay:
         Committed records replayed.
     resumes:
         Resume markers encountered (0 for an uninterrupted run).
+    lost:
+        ``(object_id, attribute) -> answers lost to exhausted retries``
+        (the serving engine's fault-stream cursor offsets; empty for
+        offline journals and fault-free serving runs).
     """
 
     recorder: AnswerRecorder
     ledger: CostLedger
     record_count: int
     resumes: int
+    lost: dict = field(default_factory=dict)
 
 
 def _apply_answer(recorder: AnswerRecorder, record: dict) -> None:
@@ -334,10 +362,14 @@ def replay_journal(path: str | Path) -> JournalReplay:
     recorder = AnswerRecorder()
     ledger = CostLedger()
     resumes = 0
+    lost: dict = {}
     for record in records:
         kind = record.get("kind")
         if kind in ANSWER_KINDS:
             _apply_answer(recorder, record)
+        elif kind == "lost":
+            key = (int(record["object"]), str(record["attribute"]))
+            lost[key] = lost.get(key, 0) + int(record["count"])
         elif kind == "ledger":
             event = record["event"]
             if event == "charge":
@@ -365,4 +397,5 @@ def replay_journal(path: str | Path) -> JournalReplay:
         ledger=ledger,
         record_count=len(records),
         resumes=resumes,
+        lost=lost,
     )

@@ -35,7 +35,10 @@ from pathlib import Path
 from repro.errors import ConfigurationError
 
 #: Bumped whenever a field is added, renamed, or re-typed.
-SCHEMA_VERSION = 1
+#: v2: serve section renamed ``partial`` -> ``degraded``, added
+#: ``degraded_by_reason``, ``shed_by_reason`` and ``faults`` subsections
+#: for the resilient serving tier.
+SCHEMA_VERSION = 2
 
 _NUMBER_MAP = {"type": "object", "additionalProperties": {"type": "number"}}
 _INTEGER_MAP = {"type": "object", "additionalProperties": {"type": "integer"}}
@@ -138,7 +141,7 @@ MANIFEST_SCHEMA = {
             "required": [
                 "queries",
                 "completed",
-                "partial",
+                "degraded",
                 "shed",
                 "cache_hits",
                 "cache_misses",
@@ -149,8 +152,10 @@ MANIFEST_SCHEMA = {
             "properties": {
                 "queries": {"type": "integer"},
                 "completed": {"type": "integer"},
-                "partial": {"type": "integer"},
+                "degraded": {"type": "integer"},
+                "degraded_by_reason": _INTEGER_MAP,
                 "shed": {"type": "integer"},
+                "shed_by_reason": _INTEGER_MAP,
                 "from_checkpoint": {"type": "integer"},
                 "waves": {"type": "integer"},
                 "coalesced_questions": {"type": "integer"},
@@ -161,6 +166,23 @@ MANIFEST_SCHEMA = {
                 "answers_purchased": {"type": "integer"},
                 "saved_cents": {"type": "number"},
                 "peak_queue_depth": {"type": "integer"},
+                "faults": {
+                    "type": "object",
+                    "required": [
+                        "timeouts",
+                        "abandons",
+                        "garbage_answers",
+                        "retries",
+                        "answers_lost",
+                    ],
+                    "properties": {
+                        "timeouts": {"type": "integer"},
+                        "abandons": {"type": "integer"},
+                        "garbage_answers": {"type": "integer"},
+                        "retries": {"type": "integer"},
+                        "answers_lost": {"type": "integer"},
+                    },
+                },
             },
         },
         "counters": _NUMBER_MAP,
@@ -226,8 +248,10 @@ def serve_from_metrics(metrics) -> dict | None:
     return {
         "queries": queries,
         "completed": int(metrics.counter("serve.completed")),
-        "partial": int(metrics.counter("serve.partial")),
+        "degraded": int(metrics.counter("serve.degraded")),
+        "degraded_by_reason": _int_map(metrics.by_suffix("serve.degraded")),
         "shed": int(metrics.counter("serve.shed")),
+        "shed_by_reason": _int_map(metrics.by_suffix("serve.shed")),
         "from_checkpoint": int(metrics.counter("serve.from_checkpoint")),
         "waves": int(metrics.counter("serve.waves")),
         "coalesced_questions": int(metrics.counter("serve.coalesced")),
@@ -238,6 +262,13 @@ def serve_from_metrics(metrics) -> dict | None:
         "answers_purchased": int(metrics.counter("serve.answers.purchased")),
         "saved_cents": float(metrics.counter("crowd.saved.value")),
         "peak_queue_depth": int(gauges.get("serve.peak_queue_depth", 0)),
+        "faults": {
+            "timeouts": int(metrics.counter("serve.faults.timeout")),
+            "abandons": int(metrics.counter("serve.faults.abandon")),
+            "garbage_answers": int(metrics.counter("serve.faults.garbage")),
+            "retries": int(metrics.counter("serve.faults.retries")),
+            "answers_lost": int(metrics.counter("serve.faults.lost")),
+        },
     }
 
 

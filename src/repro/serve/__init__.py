@@ -9,11 +9,28 @@ value questions across queries, buys only what the shared
 evaluates queries concurrently — deterministically, for any worker
 count, thanks to pure per-key answer streams
 (:mod:`repro.serve.stream`).  See DESIGN.md §12.
+
+The resilience layer (DESIGN.md §13) makes the purchase path
+fault-injectable (:mod:`repro.serve.faults`) and the results
+deadline/budget/fault-aware (:mod:`repro.serve.degrade`): a query the
+engine cannot fully serve comes back ``degraded`` with widened
+intervals and an honest completeness figure, never silently dropped.
 """
 
 from repro.serve.cache import AnswerCache, CachedAnswerSource, CacheReadSource
+from repro.serve.degrade import (
+    DEGRADE_REASONS,
+    DegradedResult,
+    TermShortfall,
+    evidence_confidence,
+    widened_interval,
+)
 from repro.serve.engine import SERVE_CHECKPOINT, SERVE_JOURNAL, ServeEngine
+from repro.serve.faults import KeyPurchase, ResilientValueStream
+from repro.serve.load import LoadSpec, generate_workload, percentile, zipf_weights
 from repro.serve.report import (
+    SHED_REASONS,
+    STATUSES,
     Predicate,
     QueryRequest,
     QueryResult,
@@ -24,17 +41,30 @@ from repro.serve.scheduler import BoundedScheduler
 from repro.serve.stream import DeterministicValueStream
 
 __all__ = [
+    "DEGRADE_REASONS",
     "SERVE_CHECKPOINT",
     "SERVE_JOURNAL",
+    "SHED_REASONS",
+    "STATUSES",
     "AnswerCache",
     "BoundedScheduler",
     "CacheReadSource",
     "CachedAnswerSource",
+    "DegradedResult",
     "DeterministicValueStream",
+    "KeyPurchase",
+    "LoadSpec",
     "Predicate",
     "QueryRequest",
     "QueryResult",
+    "ResilientValueStream",
     "ServeEngine",
     "ServeReport",
+    "TermShortfall",
+    "evidence_confidence",
+    "generate_workload",
     "load_query_file",
+    "percentile",
+    "widened_interval",
+    "zipf_weights",
 ]

@@ -11,23 +11,33 @@ and runs four phases:
    same key coalesce into a single purchase of the maximum shortfall —
    the cross-query batching this engine exists for.
 2. **Generation** (parallel, pure).  Produce the shortfall answers
-   through the :class:`~repro.serve.stream.DeterministicValueStream`.
-   Every answer is a pure function of ``(seed, object, attribute,
-   index)``, so this phase is embarrassingly parallel and identical
-   under any worker count.
-3. **Commit** (serial, sorted key order).  Charge the platform ledger,
-   journal each answer, and insert into the shared
+   through the :class:`~repro.serve.stream.DeterministicValueStream`
+   (fault-free) or the :class:`~repro.serve.faults.
+   ResilientValueStream` (fault-injected).  Every answer — and every
+   fault roll, retry and worker redraw around it — is a pure function
+   of ``(seed, object, attribute, index, attempt)`` plus the frozen
+   quarantine snapshot taken in phase 1, so this phase is
+   embarrassingly parallel and identical under any worker count.
+3. **Commit** (serial, sorted key order).  Check affordability,
+   journal each answer (and any lost-answer cursor advance)
+   write-ahead, charge the platform ledger, and insert into the shared
    :class:`~repro.serve.cache.AnswerCache` — one key at a time, in
    sorted order, so ledger float accumulation and journal sequence
-   numbers never depend on thread scheduling.  A key the budget cannot
-   cover is skipped (its queries come back ``partial``/``budget``);
-   cheaper keys later in the order may still fit.
+   numbers never depend on thread scheduling.  Fault side effects
+   (breaker outcomes, simulated latency, retry/abandon ledger events)
+   are replayed here from the purchase logs, in the same canonical
+   order.  A key the budget cannot cover is skipped entirely (its
+   queries come back ``degraded``/``budget``); cheaper keys later in
+   the order may still fit.
 4. **Evaluation** (parallel, read-only).  Each query runs the standard
    :class:`~repro.core.online.OnlineEvaluator` over a
    :class:`~repro.serve.cache.CacheReadSource` — pure reads of the now
    frozen wave cache — and applies its predicate.  Deadlines are
    checked between objects; an expired query keeps its evaluated
-   prefix and comes back ``partial``/``deadline``.
+   prefix.  Any shortfall (deadline, budget or faults) produces a
+   ``degraded`` result carrying a :class:`~repro.serve.degrade.
+   DegradedResult` — widened intervals, per-term shortfall,
+   completeness — never a silent drop (DESIGN.md §13).
 
 The serial/parallel split *is* the determinism argument (see
 DESIGN.md §12): everything parallel is side-effect-free, everything
@@ -36,8 +46,11 @@ estimates and the journal are byte-identical across ``--workers 1``
 and ``--workers N``.
 
 Backpressure: at most ``max_queue`` queries may be pending; submissions
-beyond that are **shed** — refused up front with a ``shed`` result and
-a ``serve.shed`` counter tick, never silently dropped.
+beyond that are **shed** — refused up front with a ``shed``/
+``overflow`` result and a ``serve.shed`` counter tick, never silently
+dropped.  With ``shed_expired=True`` a query whose deadline has already
+passed when its wave forms is shed as ``shed``/``deadline`` instead of
+being evaluated; the default degrades it rather than shedding.
 
 Durability: with a ``checkpoint_dir``, every purchased answer is
 journaled write-ahead (``serve.journal.jsonl``) and every completed
@@ -58,11 +71,21 @@ from pathlib import Path
 
 from repro.core.model import PreprocessingPlan
 from repro.core.online import OnlineEvaluator
+from repro.crowd.faults import FaultProfile, RetryPolicy, SimulatedClock
 from repro.crowd.platform import CrowdPlatform
+from repro.crowd.quality import WorkerCircuitBreaker
 from repro.durability.checkpoint import CheckpointStore
 from repro.durability.journal import Journal, replay_journal
 from repro.errors import BudgetExhaustedError, ConfigurationError
 from repro.serve.cache import AnswerCache, CacheKey, CacheReadSource
+from repro.serve.degrade import (
+    DegradedResult,
+    TermShortfall,
+    evidence_confidence,
+    order_reasons,
+    widened_interval,
+)
+from repro.serve.faults import KeyPurchase, ResilientValueStream
 from repro.serve.report import QueryRequest, QueryResult, ServeReport
 from repro.serve.scheduler import BoundedScheduler
 from repro.serve.stream import DeterministicValueStream
@@ -72,6 +95,11 @@ from repro.serve.stream import DeterministicValueStream
 #: host both).
 SERVE_JOURNAL = "serve.journal.jsonl"
 SERVE_CHECKPOINT = "serve.checkpoint.json"
+
+#: Knuth-style multiplier decorrelating the fault-stream seed from the
+#: answer-stream seed (the same scheme the offline platform uses for
+#: its injector), so enabling faults never perturbs answer values.
+_FAULT_SEED_MIX = 2654435761
 
 
 @dataclass
@@ -85,6 +113,14 @@ class _Pending:
     demands: dict[CacheKey, int] = field(default_factory=dict)
     #: Filled during the wave: accounting first, then evaluation.
     result: QueryResult | None = None
+    #: Degradation reasons the accounting phase established ("budget" /
+    #: "faults"); evaluation may add "deadline".
+    reasons: set[str] = field(default_factory=set)
+    #: Per-key deficits behind those reasons, in sorted key order.
+    shortfalls: list[TermShortfall] = field(default_factory=list)
+    #: Answer counts over the full request (contract vs. delivery).
+    answers_demanded: int = 0
+    answers_served: int = 0
 
 
 class ServeEngine:
@@ -114,6 +150,27 @@ class ServeEngine:
         ``checkpoint_dir`` before serving.
     clock:
         Monotonic clock used for deadlines (injectable for tests).
+    faults:
+        Fault profile for the purchase path; ``None`` or a disabled
+        profile keeps the byte-exact fault-free path.
+    retry:
+        Retry budget/backoff for fault-injected purchases (defaults to
+        :class:`~repro.crowd.faults.RetryPolicy`'s defaults).
+    breaker:
+        Worker circuit breaker; quarantined workers are excluded from
+        answer generation via a frozen per-wave snapshot.
+    fault_clock:
+        Simulated clock that fault latency, timeouts and backoff
+        advance (shared with the breaker's cooldown timing).
+    fault_seed:
+        Fault-stream seed; defaults to a Knuth-mix decorrelation of the
+        answer-stream seed.
+    chaos:
+        Optional :class:`~repro.durability.chaos.CrashInjector`; fires
+        at ``serve.*`` phase boundaries and on paid interactions.
+    shed_expired:
+        Shed (rather than degrade) queries whose deadline already
+        passed when their wave formed.
     """
 
     def __init__(
@@ -126,6 +183,13 @@ class ServeEngine:
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
         clock=time.monotonic,
+        faults: FaultProfile | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: WorkerCircuitBreaker | None = None,
+        fault_clock: SimulatedClock | None = None,
+        fault_seed: int | None = None,
+        chaos=None,
+        shed_expired: bool = False,
     ) -> None:
         if max_queue < 1:
             raise ConfigurationError(
@@ -144,11 +208,33 @@ class ServeEngine:
         self.stream = DeterministicValueStream(platform, seed)
         self.cache = AnswerCache()
         self._clock = clock
+        self.shed_expired = shed_expired
+        self.chaos = chaos
+        if chaos is not None:
+            # Paid interactions flow through the platform's charge path.
+            self.platform.chaos = chaos
+        self.resilient: ResilientValueStream | None = None
+        self.fault_clock = fault_clock if fault_clock is not None else SimulatedClock()
+        self.breaker = breaker
+        if faults is not None and faults.enabled:
+            if fault_seed is None:
+                fault_seed = (self.stream.seed * _FAULT_SEED_MIX + 1) % 2**63
+            self.resilient = ResilientValueStream(
+                self.stream, faults, retry or RetryPolicy(), fault_seed
+            )
+            if self.breaker is None:
+                self.breaker = WorkerCircuitBreaker()
+            self.breaker.metrics = self.obs.metrics
+        #: Per-key lost-answer counts: the value stream's cursor for a
+        #: key is ``cache count + lost`` (lost indices were consumed by
+        #: exhausted retries and must never be re-drawn).
+        self._lost: dict[CacheKey, int] = {}
         self._queue: list[_Pending] = []
         self._results: list[QueryResult] = []
         self._seen_ids: set[str] = set()
         self._checkpointed: dict[str, QueryResult] = {}
         self._price_of: dict[str, float] = {}
+        self._priors: dict[str, float] = {}
         self._batches = 0
         self._coalesced = 0
         self._peak_queue = 0
@@ -177,6 +263,15 @@ class ServeEngine:
         payload = self.checkpoints.load()
         self.platform.restore_state(payload["platform"])
         self.cache = AnswerCache.from_snapshot(payload["cache"])
+        faults = payload.get("faults")
+        if faults is not None:
+            self.fault_clock.restore_state(faults["clock"])
+            if self.breaker is not None and faults.get("breaker") is not None:
+                self.breaker.restore_state(faults["breaker"])
+            self._lost = {
+                (int(entry["object"]), str(entry["attribute"])): int(entry["count"])
+                for entry in faults.get("lost", [])
+            }
         for entry in payload.get("results", []):
             result = QueryResult.from_dict(entry)
             result.from_checkpoint = True
@@ -211,6 +306,12 @@ class ServeEngine:
             self.platform.charge_values(attribute, len(tape) - have)
             self.cache.add(object_id, attribute, tape[have:])
             restored += len(tape) - have
+        # Lost-answer records are cursor advances, not purchases: the
+        # journal's totals supersede the (older or equal) checkpoint's,
+        # so a resumed stream continues past indices retries consumed.
+        for key, count in replay.lost.items():
+            if count > self._lost.get(key, 0):
+                self._lost[key] = count
         self.restored_answers = restored
         if restored:
             self.resumed = True
@@ -220,13 +321,23 @@ class ServeEngine:
         """Atomically persist platform state, cache, finished results."""
         if self.checkpoints is None:
             return
-        self.checkpoints.save(
-            {
-                "platform": self.platform.capture_state(),
-                "cache": self.cache.snapshot(),
-                "results": [result.to_dict() for result in self._results],
+        payload = {
+            "platform": self.platform.capture_state(),
+            "cache": self.cache.snapshot(),
+            "results": [result.to_dict() for result in self._results],
+        }
+        if self.resilient is not None:
+            payload["faults"] = {
+                "clock": self.fault_clock.state_dict(),
+                "breaker": (
+                    self.breaker.state_dict() if self.breaker is not None else None
+                ),
+                "lost": [
+                    {"object": key[0], "attribute": key[1], "count": count}
+                    for key, count in sorted(self._lost.items())
+                ],
             }
-        )
+        self.checkpoints.save(payload)
 
     def close(self) -> None:
         """Flush and close the journal (if durability is on)."""
@@ -281,11 +392,21 @@ class ServeEngine:
             metrics.inc("serve.from_checkpoint")
             return True
         if len(self._queue) >= self.max_queue:
-            self._results.append(QueryResult(query_id=request.query_id, status="shed"))
+            self._results.append(
+                QueryResult(
+                    query_id=request.query_id,
+                    status="shed",
+                    shed_reason="overflow",
+                )
+            )
             metrics.inc("serve.queries")
             metrics.inc("serve.shed")
+            metrics.inc("serve.shed.overflow")
             self.obs.tracer.event(
-                "serve.shed", query=request.query_id, depth=len(self._queue)
+                "serve.shed",
+                query=request.query_id,
+                reason="overflow",
+                depth=len(self._queue),
             )
             return False
         pending = _Pending(request=request, plans=plans, admitted_at=self._clock())
@@ -311,8 +432,13 @@ class ServeEngine:
                 size = self.wave_size or len(self._queue)
                 wave, self._queue = self._queue[:size], self._queue[size:]
                 self.obs.metrics.gauge("serve.queue.depth", len(self._queue))
+                if self.shed_expired:
+                    wave = self._shed_expired(wave)
+                    if not wave:
+                        continue
                 self._serve_wave(wave)
                 self._checkpoint()
+                self._kill_point("serve.wave")
         report = ServeReport(
             results=list(self._results),
             batches=self._batches,
@@ -330,6 +456,55 @@ class ServeEngine:
             price = self.platform.value_price(attribute)
             self._price_of[attribute] = price
         return price
+
+    def _prior_variance(self, attribute: str) -> float:
+        """Range-based prior variance ``(span/4)²`` for a zero-answer term."""
+        prior = self._priors.get(attribute)
+        if prior is None:
+            canonical, _ = self.stream.resolve(attribute)
+            low, high = self.stream.domain.answer_range(canonical)
+            prior = ((high - low) / 4.0) ** 2
+            self._priors[attribute] = prior
+        return prior
+
+    def _kill_point(self, phase: str) -> None:
+        """Chaos hook: crash at a configured ``serve.*`` phase boundary."""
+        if self.chaos is not None:
+            self.chaos.phase_boundary(phase)
+
+    def _shed_expired(self, wave: list[_Pending]) -> list[_Pending]:
+        """Shed wave members whose deadline passed before serving began.
+
+        Only called when ``shed_expired`` is set: the alternative (and
+        default) posture is to serve such queries degraded.  Shed here
+        costs nothing — the query is dropped before need computation,
+        so it contributes no demand to the wave's purchases.
+        """
+        metrics = self.obs.metrics
+        kept: list[_Pending] = []
+        for pending in wave:
+            deadline = pending.request.deadline_s
+            if (
+                deadline is not None
+                and self._clock() - pending.admitted_at > deadline
+            ):
+                self._results.append(
+                    QueryResult(
+                        query_id=pending.request.query_id,
+                        status="shed",
+                        shed_reason="deadline",
+                    )
+                )
+                metrics.inc("serve.shed")
+                metrics.inc("serve.shed.deadline")
+                self.obs.tracer.event(
+                    "serve.shed",
+                    query=pending.request.query_id,
+                    reason="deadline",
+                )
+            else:
+                kept.append(pending)
+        return kept
 
     def _serve_wave(self, wave: list[_Pending]) -> None:
         metrics = self.obs.metrics
@@ -349,6 +524,13 @@ class ServeEngine:
             for key in sorted(demands)
             if demands[key] > pre_counts[key]
         ]
+        # Frozen quarantine snapshot: worker exclusion is decided once
+        # per wave, serially, so the parallel generation phase stays a
+        # pure function under any worker count.
+        blocked: frozenset[int] = frozenset()
+        if self.resilient is not None and self.breaker is not None:
+            blocked = frozenset(self.breaker.quarantined(self.fault_clock.now))
+        self._kill_point("serve.need")
         # Batching saving: questions the wave's queries would have
         # bought independently but the coalesced purchase did not.
         independent = sum(
@@ -362,23 +544,53 @@ class ServeEngine:
             metrics.inc("serve.coalesced", independent - fresh_total)
 
         # Phase 2 (parallel, pure): generate every shortfall answer.
+        # The fault-free branch is the byte-exact PR-5 path; the
+        # resilient branch purchases through per-attempt derived RNGs
+        # (see serve/faults.py) against the frozen quarantine snapshot.
         with self.obs.tracer.span(
             "serve.purchase", keys=len(shortfalls), answers=fresh_total
         ):
-            generated = self.scheduler.run(
-                lambda item: self.stream.answers(
-                    item[0][0], item[0][1], item[1], item[2]
-                ),
-                shortfalls,
-            )
+            if self.resilient is None:
+                generated = self.scheduler.run(
+                    lambda item: self.stream.answers(
+                        item[0][0], item[0][1], item[1], item[2]
+                    ),
+                    shortfalls,
+                )
+            else:
+                resilient = self.resilient
+                lost_before = self._lost
+                generated = self.scheduler.run(
+                    lambda item: resilient.purchase(
+                        item[0][0],
+                        item[0][1],
+                        item[1] + lost_before.get(item[0], 0),
+                        item[2],
+                        blocked,
+                    ),
+                    shortfalls,
+                )
+            self._kill_point("serve.generate")
 
-            # Phase 3 (serial, sorted key order): charge, journal, insert.
+            # Phase 3 (serial, sorted key order): check affordability,
+            # journal write-ahead, charge, insert.  An unfunded key is
+            # skipped wholesale — no journal entry, no fault replay, no
+            # cursor advance — as if its questions were never asked;
+            # a crash inside the charge (chaos fires there) is healed
+            # on resume by re-charging the already-journaled tail.
             unfunded: set[CacheKey] = set()
             purchased = 0
-            for (key, start, count), answers in zip(shortfalls, generated):
+            for (key, start, count), produced in zip(shortfalls, generated):
                 object_id, attribute = key
+                purchase: KeyPurchase | None = None
+                if isinstance(produced, KeyPurchase):
+                    purchase = produced
+                    answers = purchase.answers
+                else:
+                    answers = produced
+                obtained = len(answers)
                 try:
-                    self.platform.charge_values(attribute, count)
+                    self.platform.check_values_affordable(attribute, obtained)
                 except BudgetExhaustedError:
                     unfunded.add(key)
                     metrics.inc("serve.budget_stops")
@@ -386,27 +598,38 @@ class ServeEngine:
                         "serve.budget_stop",
                         object_id=object_id,
                         attribute=attribute,
-                        answers=count,
+                        answers=obtained,
                     )
                     continue
                 if self.journal is not None:
                     for offset, answer in enumerate(answers):
                         self.journal.record_answer("value", key, start + offset, answer)
-                self.cache.add(object_id, attribute, answers)
-                self.cache.note_misses(count)
-                purchased += count
+                    if purchase is not None and purchase.lost:
+                        # Journaled as a delta; replay sums deltas into
+                        # the key's total cursor advance.
+                        self.journal.record_lost(key, purchase.lost)
+                if purchase is not None:
+                    self._replay_purchase(key, purchase)
+                if obtained:
+                    self.platform.charge_values(attribute, obtained)
+                    self.cache.add(object_id, attribute, answers)
+                    self.cache.note_misses(obtained)
+                    purchased += obtained
             if purchased:
                 self._batches += 1
                 metrics.inc("serve.cache.misses", purchased)
                 metrics.inc("serve.answers.purchased", purchased)
+            self._kill_point("serve.commit")
 
         # Phase 4a (serial, admission order): attribute spend/savings.
         # ``virtual`` replays the cache level each query observed: hits
         # are answers that existed before this query's turn (bought
         # earlier, or by an earlier query of this wave), fresh answers
-        # are the ones its own demand pulled in.
+        # are the ones its own demand pulled in.  A key the cache cannot
+        # fully serve marks the query for degradation: ``budget`` when
+        # the wave's purchase went unfunded, ``faults`` when the money
+        # was there but retries were exhausted.
         virtual = dict(pre_counts)
-        budget_short: set[str] = set()
         for pending in wave:
             result = QueryResult(query_id=pending.request.query_id)
             for key in sorted(pending.demands):
@@ -416,8 +639,19 @@ class ServeEngine:
                 seen = virtual[key]
                 hits = min(seen, count)
                 fresh = max(0, min(count, available) - seen)
+                served = min(count, available)
+                pending.answers_demanded += count
+                pending.answers_served += served
                 if count > available:
-                    budget_short.add(pending.request.query_id)
+                    pending.reasons.add("budget" if key in unfunded else "faults")
+                    pending.shortfalls.append(
+                        TermShortfall(
+                            object_id=object_id,
+                            attribute=attribute,
+                            demanded=count,
+                            served=served,
+                        )
+                    )
                 if hits:
                     price = self._price(attribute)
                     result.saved_answers += hits
@@ -440,14 +674,49 @@ class ServeEngine:
                 lambda pending: self._evaluate(pending, read_source),
                 wave,
             )
-        for pending, result in zip(wave, evaluated):
-            if pending.request.query_id in budget_short:
-                result.status = "partial"
-                result.partial_reason = result.partial_reason or "budget"
-            metrics.inc(
-                "serve.partial" if result.status == "partial" else "serve.completed"
-            )
+        for result in evaluated:
+            if result.status == "degraded":
+                metrics.inc("serve.degraded")
+                metrics.inc(f"serve.degraded.{result.degraded_reason}")
+            else:
+                metrics.inc("serve.completed")
             self._results.append(result)
+        self._kill_point("serve.evaluate")
+
+    def _replay_purchase(self, key: CacheKey, purchase: KeyPurchase) -> None:
+        """Serially apply one purchase's fault side-effect log.
+
+        Called in sorted key order from the commit phase, so the
+        simulated clock, breaker state, ledger events and fault
+        counters are identical under any worker count.
+        """
+        metrics = self.obs.metrics
+        if purchase.sim_seconds:
+            self.fault_clock.advance(purchase.sim_seconds)
+        if self.breaker is not None:
+            now = self.fault_clock.now
+            for attempt in purchase.attempts:
+                self.breaker.record_outcome(attempt.worker_id, attempt.fault, now)
+        ledger = self.platform.ledger
+        if purchase.retries:
+            ledger.record_retry("value", purchase.retries)
+            metrics.inc("serve.faults.retries", purchase.retries)
+        if purchase.abandons:
+            ledger.record_abandon("value", purchase.abandons)
+            metrics.inc("serve.faults.abandon", purchase.abandons)
+        if purchase.timeouts:
+            metrics.inc("serve.faults.timeout", purchase.timeouts)
+        if purchase.garbage:
+            metrics.inc("serve.faults.garbage", purchase.garbage)
+        if purchase.lost:
+            self._lost[key] = self._lost.get(key, 0) + purchase.lost
+            metrics.inc("serve.faults.lost", purchase.lost)
+            self.obs.tracer.event(
+                "serve.answers_lost",
+                object_id=key[0],
+                attribute=key[1],
+                lost=purchase.lost,
+            )
 
     def _evaluate(self, pending: _Pending, source: CacheReadSource) -> QueryResult:
         """Run one query's online phase over the wave cache (pure reads)."""
@@ -479,12 +748,86 @@ class ServeEngine:
                 if predicate.matches(value)
             ]
         if deadline_hit:
-            result.status = "partial"
-            result.partial_reason = "deadline"
             self.obs.tracer.event(
                 "serve.deadline",
                 query=request.query_id,
                 evaluated=len(result.object_ids),
                 requested=len(request.object_ids),
             )
+        reasons = set(pending.reasons)
+        if deadline_hit:
+            reasons.add("deadline")
+        if reasons:
+            ordered = order_reasons(reasons)
+            result.status = "degraded"
+            result.degraded_reason = ordered[0]
+            result.degraded = self._degradation(pending, result, ordered, source)
         return result
+
+    def _degradation(
+        self,
+        pending: _Pending,
+        result: QueryResult,
+        reasons: tuple[str, ...],
+        source: CacheReadSource,
+    ) -> DegradedResult:
+        """Build the degradation annotation for one degraded query.
+
+        Pure cache reads and arithmetic (safe inside the parallel
+        evaluation phase).  Intervals are widened per the module
+        formula in :mod:`repro.serve.degrade`: each formula term
+        contributes ``c²·s²/n`` (or a range prior at ``n = 0``), and
+        the half-width inflates by the evidence shortfall.
+        """
+        request = pending.request
+        objects_requested = len(request.object_ids)
+        objects_evaluated = len(result.object_ids)
+        intervals: dict[str, list[list[float]]] = {}
+        for target in request.targets:
+            formula = None
+            for plan in pending.plans:
+                if target in plan.formulas:
+                    formula = plan.formulas[target]
+                    break
+            if formula is None:  # unreachable: submit() checked coverage
+                continue
+            rows: list[list[float]] = []
+            for position, object_id in enumerate(result.object_ids):
+                terms: list[tuple[float, list[float], int, float]] = []
+                for attribute, coefficient in formula.coefficients.items():
+                    demanded = formula.budget[attribute]
+                    answers = source.fetch(object_id, attribute, demanded)
+                    terms.append(
+                        (
+                            coefficient,
+                            answers,
+                            demanded,
+                            self._prior_variance(attribute),
+                        )
+                    )
+                rows.append(
+                    widened_interval(result.estimates[target][position], terms)
+                )
+            intervals[target] = rows
+        object_fraction = (
+            objects_evaluated / objects_requested if objects_requested else 1.0
+        )
+        answer_fraction = (
+            pending.answers_served / pending.answers_demanded
+            if pending.answers_demanded
+            else 1.0
+        )
+        return DegradedResult(
+            reason=reasons[0],
+            reasons=reasons,
+            completeness=object_fraction * answer_fraction,
+            confidence=evidence_confidence(
+                pending.answers_served, pending.answers_demanded
+            ),
+            answers_demanded=pending.answers_demanded,
+            answers_served=pending.answers_served,
+            objects_requested=objects_requested,
+            objects_evaluated=objects_evaluated,
+            shortfalls=list(pending.shortfalls),
+            intervals=intervals,
+        )

@@ -1,0 +1,189 @@
+"""Fault-injected answer purchasing for the serving engine.
+
+The offline platform's resilience loop (:meth:`~repro.crowd.platform.
+CrowdPlatform._resilient_ask`) is stateful: a shared injector RNG, a
+mutable circuit breaker and a shared simulated clock, all advanced in
+global question order.  The serving engine cannot use it — its
+generation phase runs in parallel and must stay byte-identical across
+worker counts.  :class:`ResilientValueStream` is the pure-function
+replacement:
+
+* Attempt ``a`` of answer ``i`` for ``(object, attribute)`` derives its
+  own generator from ``(fault_seed, object, attribute, i, a)`` — fault
+  outcome, retry jitter, worker redraws and the answer value itself all
+  come from that generator, so the whole purchase is a pure function of
+  its coordinates and the *frozen* quarantine set the engine snapshots
+  serially at wave start.
+* No shared state is touched.  Every attempt is logged into the
+  returned :class:`KeyPurchase`; the engine replays those logs into the
+  circuit breaker, ledger, simulated clock and metrics **serially, in
+  sorted key order**, so all side effects stay canonical (DESIGN.md
+  §13).
+
+Fault semantics mirror the offline loop: timeouts burn the question
+timeout and retry, abandons retry immediately, garbage produces a
+detectably-malformed value that validation rejects (another retry).
+An answer whose retry budget is exhausted is *lost* — the engine
+serves the query anyway, degraded, with the shortfall reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crowd.faults import (
+    FaultKind,
+    FaultProfile,
+    FaultRates,
+    RetryPolicy,
+    corrupted_value,
+    draw_outcome,
+    plausible_value,
+)
+from repro.serve.stream import DeterministicValueStream
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One worker interaction during a purchase (for breaker replay)."""
+
+    worker_id: int
+    fault: bool
+
+
+@dataclass
+class KeyPurchase:
+    """Everything one key's fault-injected purchase produced.
+
+    ``answers`` holds the validated values actually obtained (possibly
+    fewer than requested — the difference is ``lost``); the remaining
+    fields are the side-effect log the engine replays serially.
+    """
+
+    answers: list[float] = field(default_factory=list)
+    #: Answers whose retry budget was exhausted (never obtained).
+    lost: int = 0
+    #: Every worker interaction, in attempt order.
+    attempts: list[Attempt] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    abandons: int = 0
+    garbage: int = 0
+    #: Simulated seconds of latency, timeouts and backoff.
+    sim_seconds: float = 0.0
+
+
+class ResilientValueStream:
+    """Pure fault-injected purchases over a deterministic value stream.
+
+    Parameters
+    ----------
+    stream:
+        The fault-free answer stream; supplies the domain, the worker
+        population and canonical attribute resolution.
+    profile:
+        Fault configuration; only the ``"value"`` category applies
+        (serving buys nothing else).
+    policy:
+        Retry budget, backoff and question timeout.
+    seed:
+        Fault-stream seed.  Must differ from the answer-stream seed
+        (the engine decorrelates it) so fault rolls never correlate
+        with answer noise.
+    """
+
+    def __init__(
+        self,
+        stream: DeterministicValueStream,
+        profile: FaultProfile,
+        policy: RetryPolicy,
+        seed: int,
+    ) -> None:
+        self.stream = stream
+        self.profile = profile
+        self.policy = policy
+        self.seed = int(seed)
+        self._rates: FaultRates = profile.rates_for("value")
+        self._ranges: dict[str, tuple[float, float]] = {}
+
+    def _answer_range(self, canonical: str) -> tuple[float, float]:
+        cached = self._ranges.get(canonical)
+        if cached is None:
+            cached = self.stream.domain.answer_range(canonical)
+            self._ranges[canonical] = cached
+        return cached
+
+    def _draw_worker(self, rng: np.random.Generator, blocked: frozenset[int]):
+        """Sample a worker, redrawing around the frozen quarantine set.
+
+        Mirrors :meth:`~repro.crowd.pool.WorkerPool.draw_avoiding`:
+        after ``len(workers)`` blocked redraws the last draw is served
+        anyway, so a fully-quarantined population degrades to normal
+        service instead of deadlocking.
+        """
+        workers = self.stream.workers
+        worker = workers[int(rng.integers(0, len(workers)))]
+        if not blocked:
+            return worker
+        for _ in range(len(workers)):
+            if worker.worker_id not in blocked:
+                return worker
+            worker = workers[int(rng.integers(0, len(workers)))]
+        return worker
+
+    def purchase(
+        self,
+        object_id: int,
+        attribute: str,
+        start: int,
+        count: int,
+        blocked: frozenset[int],
+    ) -> KeyPurchase:
+        """Buy answers ``start .. start+count`` of one key, with faults.
+
+        Pure: the result depends only on ``(seed, object, attribute,
+        index, attempt)`` coordinates and ``blocked`` — never on call
+        order, thread scheduling or purchase batching.
+        """
+        canonical, attr_key = self.stream.resolve(attribute)
+        low, high = self._answer_range(canonical)
+        domain = self.stream.domain
+        result = KeyPurchase()
+        for index in range(start, start + count):
+            obtained = False
+            for attempt in range(self.policy.max_attempts):
+                rng = np.random.default_rng(
+                    [self.seed, int(object_id), attr_key, int(index), attempt]
+                )
+                if attempt:
+                    result.retries += 1
+                    result.sim_seconds += self.policy.delay(attempt - 1, rng)
+                worker = self._draw_worker(rng, blocked)
+                outcome = draw_outcome(self._rates, worker.fault_proneness, rng)
+                result.sim_seconds += outcome.latency
+                if outcome.kind is FaultKind.TIMEOUT:
+                    result.timeouts += 1
+                    result.sim_seconds += self.policy.question_timeout
+                    result.attempts.append(Attempt(worker.worker_id, True))
+                    continue
+                if outcome.kind is FaultKind.ABANDON:
+                    result.abandons += 1
+                    result.attempts.append(Attempt(worker.worker_id, True))
+                    continue
+                answer = worker.answer_value_stateless(
+                    domain, object_id, canonical, rng
+                )
+                if outcome.kind is FaultKind.GARBAGE:
+                    answer = corrupted_value((low, high), rng)
+                    result.garbage += 1
+                if plausible_value(answer, low, high):
+                    result.attempts.append(Attempt(worker.worker_id, False))
+                    result.answers.append(float(answer))
+                    obtained = True
+                    break
+                result.attempts.append(Attempt(worker.worker_id, True))
+            if not obtained:
+                result.lost += 1
+        return result

@@ -1,0 +1,132 @@
+"""Skewed synthetic workloads for the serving load benchmark.
+
+Real serving traffic is bursty in time and skewed in space: queries
+arrive in Poisson clumps and hammer a small set of popular objects.
+:func:`generate_workload` reproduces both — exponential inter-arrival
+times (a Poisson process at ``arrival_rate_qps``) and Zipf-distributed
+object popularity (rank ``r`` drawn with weight ``1 / (r + 1)^s``) —
+deterministically from one seed, so the load benchmark's runs are
+reproducible and comparable across machines.
+
+The module is intentionally engine-agnostic: it produces
+``(arrival_time, QueryRequest)`` pairs, and the harness decides how to
+feed them (e.g. ``benchmarks/bench_load.py`` advances a
+:class:`~repro.crowd.faults.SimulatedClock` to each arrival and runs a
+wave per batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.report import QueryRequest
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one synthetic serving workload.
+
+    Attributes
+    ----------
+    queries:
+        Total queries to generate.
+    arrival_rate_qps:
+        Mean Poisson arrival rate (queries per simulated second).
+    zipf_s:
+        Zipf popularity exponent; ``0`` is uniform, larger is more
+        skewed toward low object ids.
+    n_objects:
+        Object population to draw from.
+    objects_per_query:
+        Distinct objects each query evaluates.
+    targets:
+        Target attributes; queries cycle through them round-robin (so
+        any multi-target workload still coalesces per target).
+    deadline_s:
+        Per-query deadline in (simulated) seconds; ``None`` disables.
+    seed:
+        Workload seed (independent of the engine's answer seed).
+    """
+
+    queries: int
+    arrival_rate_qps: float
+    zipf_s: float = 1.1
+    n_objects: int = 100
+    objects_per_query: int = 4
+    targets: tuple[str, ...] = ("target",)
+    deadline_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queries < 1:
+            raise ConfigurationError(f"need >= 1 query, got {self.queries}")
+        if not self.arrival_rate_qps > 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.arrival_rate_qps!r}"
+            )
+        if self.zipf_s < 0:
+            raise ConfigurationError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        if not 0 < self.objects_per_query <= self.n_objects:
+            raise ConfigurationError(
+                f"objects_per_query must be in 1..{self.n_objects}, "
+                f"got {self.objects_per_query}"
+            )
+        if not self.targets:
+            raise ConfigurationError("a load spec needs at least one target")
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalised Zipf popularity over ``n`` ranks: ``p(r) ∝ 1/(r+1)^s``."""
+    if n < 1:
+        raise ConfigurationError(f"need >= 1 rank, got {n}")
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), s)
+    return weights / weights.sum()
+
+
+def generate_workload(spec: LoadSpec) -> list[tuple[float, QueryRequest]]:
+    """Deterministic ``(arrival_time, request)`` pairs for one spec.
+
+    Arrival times are the cumulative sum of exponential inter-arrival
+    gaps (Poisson process); each query's object set is a
+    without-replacement Zipf draw, sorted so the engine's per-key
+    coalescing sees canonical object order.
+    """
+    rng = np.random.default_rng(spec.seed)
+    weights = zipf_weights(spec.n_objects, spec.zipf_s)
+    workload: list[tuple[float, QueryRequest]] = []
+    now = 0.0
+    for index in range(spec.queries):
+        now += float(rng.exponential(1.0 / spec.arrival_rate_qps))
+        objects = rng.choice(
+            spec.n_objects,
+            size=spec.objects_per_query,
+            replace=False,
+            p=weights,
+        )
+        target = spec.targets[index % len(spec.targets)]
+        workload.append(
+            (
+                now,
+                QueryRequest(
+                    query_id=f"q{index:05d}",
+                    targets=(target,),
+                    object_ids=tuple(int(oid) for oid in sorted(objects)),
+                    deadline_s=spec.deadline_s,
+                ),
+            )
+        )
+    return workload
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ConfigurationError("cannot take a percentile of no values")
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(np.ceil(q / 100 * len(ordered))) - 1))
+    return float(ordered[rank])

@@ -8,14 +8,19 @@ evaluate, and an optional deadline.  Each produces a
 ``completed``
     Every requested object was estimated with its full ``b(a)``
     answers.
-``partial``
-    Something was given up — the deadline expired mid-evaluation, or
-    budget exhaustion cut a purchase wave short — and
-    ``partial_reason`` says which.  Whatever was estimated is still
-    returned (flagged, never silently truncated).
+``degraded``
+    Something was given up — the deadline expired mid-evaluation,
+    budget exhaustion cut a purchase wave short, or crowd faults
+    exhausted an answer's retry budget — and ``degraded_reason`` says
+    which (the ``degraded`` payload carries widened intervals and the
+    per-term shortfall; see :mod:`repro.serve.degrade`).  Whatever was
+    estimated is still returned (flagged, never silently truncated).
 ``shed``
-    Backpressure: the request never entered the engine because the
-    queue was full.
+    The query was refused outright and cost nothing; ``shed_reason``
+    distinguishes backpressure (``"overflow"`` — the queue was full at
+    admission) from expiry (``"deadline"`` — the deadline had already
+    passed when its wave formed, and the engine was configured to shed
+    rather than degrade such queries).
 
 A :class:`ServeReport` aggregates one :meth:`~repro.serve.engine.
 ServeEngine.run` call: all results plus the cache/batching economics
@@ -27,10 +32,12 @@ depth and throughput.  Everything serializes to JSON for the manifest's
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.serve.degrade import DegradedResult
 
 #: Comparison operators a predicate may use against an estimate.
 PREDICATE_OPS = {
@@ -41,7 +48,10 @@ PREDICATE_OPS = {
 }
 
 #: Legal values of :attr:`QueryResult.status`.
-STATUSES = ("completed", "partial", "shed")
+STATUSES = ("completed", "degraded", "shed")
+
+#: Legal values of :attr:`QueryResult.shed_reason`.
+SHED_REASONS = ("overflow", "deadline")
 
 
 @dataclass(frozen=True)
@@ -95,8 +105,16 @@ class QueryRequest:
             raise ConfigurationError(f"query {self.query_id!r} has no targets")
         if not self.object_ids:
             raise ConfigurationError(f"query {self.query_id!r} has no objects")
-        if self.deadline_s is not None and self.deadline_s < 0:
-            raise ConfigurationError(f"query {self.query_id!r} has a negative deadline")
+        if self.deadline_s is not None and (
+            not math.isfinite(self.deadline_s) or self.deadline_s < 0
+        ):
+            # NaN passes a bare `< 0` check and would silently disable
+            # the deadline comparison; reject it at admission, matching
+            # the SimulatedClock/RetryPolicy NaN/inf hardening.
+            raise ConfigurationError(
+                f"query {self.query_id!r} deadline must be finite and "
+                f">= 0, got {self.deadline_s!r}"
+            )
         if self.predicate is not None and self.predicate.target not in self.targets:
             raise ConfigurationError(
                 f"query {self.query_id!r} filters on non-target "
@@ -172,7 +190,14 @@ class QueryResult:
 
     query_id: str
     status: str = "completed"
-    partial_reason: str | None = None
+    #: Why the result is degraded (see :data:`~repro.serve.degrade.
+    #: DEGRADE_REASONS`); ``None`` unless ``status == "degraded"``.
+    degraded_reason: str | None = None
+    #: Why the query was shed; ``None`` unless ``status == "shed"``.
+    shed_reason: str | None = None
+    #: Widened intervals / shortfall / completeness annotation for
+    #: degraded results (``None`` otherwise).
+    degraded: DegradedResult | None = None
     #: Object ids actually evaluated, in request order (a prefix of the
     #: request's objects when a deadline expired).
     object_ids: list[int] = field(default_factory=list)
@@ -190,6 +215,8 @@ class QueryResult:
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
             raise ConfigurationError(f"unknown result status {self.status!r}")
+        if self.shed_reason is not None and self.shed_reason not in SHED_REASONS:
+            raise ConfigurationError(f"unknown shed reason {self.shed_reason!r}")
 
     def to_dict(self) -> dict:
         payload: dict = {
@@ -205,18 +232,27 @@ class QueryResult:
             "saved_cents": self.saved_cents,
             "from_checkpoint": self.from_checkpoint,
         }
-        if self.partial_reason is not None:
-            payload["partial_reason"] = self.partial_reason
+        if self.degraded_reason is not None:
+            payload["degraded_reason"] = self.degraded_reason
+        if self.shed_reason is not None:
+            payload["shed_reason"] = self.shed_reason
+        if self.degraded is not None:
+            payload["degraded"] = self.degraded.to_dict()
         if self.selected is not None:
             payload["selected"] = list(self.selected)
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "QueryResult":
+        degraded = payload.get("degraded")
         return cls(
             query_id=str(payload["query_id"]),
             status=str(payload["status"]),
-            partial_reason=payload.get("partial_reason"),
+            degraded_reason=payload.get("degraded_reason"),
+            shed_reason=payload.get("shed_reason"),
+            degraded=(
+                DegradedResult.from_dict(degraded) if degraded is not None else None
+            ),
             object_ids=[int(oid) for oid in payload.get("object_ids", [])],
             estimates={
                 str(target): [float(v) for v in values]
@@ -260,12 +296,28 @@ class ServeReport:
         return self._count("completed")
 
     @property
-    def partial(self) -> int:
-        return self._count("partial")
+    def degraded(self) -> int:
+        return self._count("degraded")
 
     @property
     def shed(self) -> int:
         return self._count("shed")
+
+    def shed_by_reason(self, reason: str) -> int:
+        """Shed results with one :data:`SHED_REASONS` reason."""
+        return sum(
+            1
+            for result in self.results
+            if result.status == "shed" and result.shed_reason == reason
+        )
+
+    def degraded_by_reason(self, reason: str) -> int:
+        """Degraded results whose *primary* reason is ``reason``."""
+        return sum(
+            1
+            for result in self.results
+            if result.status == "degraded" and result.degraded_reason == reason
+        )
 
     @property
     def fresh_answers(self) -> int:
@@ -287,13 +339,13 @@ class ServeReport:
     def queries_per_second(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
-        return (self.completed + self.partial) / self.wall_seconds
+        return (self.completed + self.degraded) / self.wall_seconds
 
     def to_dict(self) -> dict:
         return {
             "queries": len(self.results),
             "completed": self.completed,
-            "partial": self.partial,
+            "degraded": self.degraded,
             "shed": self.shed,
             "batches": self.batches,
             "coalesced_questions": self.coalesced_questions,
@@ -311,7 +363,7 @@ class ServeReport:
         """Human-readable summary table for the CLI."""
         lines = [
             f"served {len(self.results)} queries with {self.workers} worker(s): "
-            f"{self.completed} completed, {self.partial} partial, "
+            f"{self.completed} completed, {self.degraded} degraded, "
             f"{self.shed} shed",
             f"  spend: {self.spent_cents:.1f}c fresh "
             f"({self.fresh_answers} answers), "
@@ -323,10 +375,13 @@ class ServeReport:
         ]
         for result in self.results:
             flag = ""
-            if result.status == "partial":
-                flag = f" [partial: {result.partial_reason}]"
+            if result.status == "degraded":
+                flag = f" [degraded: {result.degraded_reason}"
+                if result.degraded is not None:
+                    flag += f", completeness {result.degraded.completeness:.0%}"
+                flag += "]"
             elif result.status == "shed":
-                flag = " [shed]"
+                flag = f" [shed: {result.shed_reason or 'overflow'}]"
             elif result.from_checkpoint:
                 flag = " [from checkpoint]"
             selected = (

@@ -74,6 +74,20 @@ class DeterministicValueStream:
             self._attr_keys[attribute] = _attribute_key(canonical)
         return canonical, self._attr_keys[attribute]
 
+    def resolve(self, attribute: str) -> tuple[str, int]:
+        """``(canonical name, stable 32-bit key)`` for one attribute.
+
+        Public so stream wrappers (the fault-injected serve stream)
+        derive their per-answer generators from the *same* coordinates
+        this stream uses.
+        """
+        return self._resolve(attribute)
+
+    @property
+    def workers(self):
+        """The worker population answers are drawn from (pool order)."""
+        return self._workers
+
     def answer(self, object_id: int, attribute: str, index: int) -> float:
         """Answer ``index`` of the ``(object, attribute)`` stream."""
         canonical, attr_key = self._resolve(attribute)

@@ -15,11 +15,13 @@ from repro.crowd.recording import AnswerRecorder
 from repro.errors import ConfigurationError
 from repro.serve import (
     BoundedScheduler,
+    DegradedResult,
     Predicate,
     QueryRequest,
     QueryResult,
     ServeEngine,
     ServeReport,
+    TermShortfall,
     load_query_file,
 )
 
@@ -82,8 +84,20 @@ class TestServeRequests:
     def test_result_roundtrip(self):
         result = QueryResult(
             query_id="q",
-            status="partial",
-            partial_reason="deadline",
+            status="degraded",
+            degraded_reason="deadline",
+            degraded=DegradedResult(
+                reason="deadline",
+                reasons=("deadline", "budget"),
+                completeness=0.5,
+                confidence=0.7,
+                answers_demanded=8,
+                answers_served=4,
+                objects_requested=4,
+                objects_evaluated=2,
+                shortfalls=[TermShortfall(1, "a", 4, 2)],
+                intervals={"a": [[0.1, 0.9], [0.2, 1.3]]},
+            ),
             object_ids=[1, 2],
             estimates={"a": [0.5, 0.75]},
             selected=[2],
@@ -93,6 +107,17 @@ class TestServeRequests:
             saved_cents=0.4,
         )
         assert QueryResult.from_dict(result.to_dict()) == result
+
+    def test_shed_result_roundtrip(self):
+        result = QueryResult(query_id="q", status="shed", shed_reason="deadline")
+        assert QueryResult.from_dict(result.to_dict()) == result
+        with pytest.raises(ConfigurationError):
+            QueryResult(query_id="q", status="shed", shed_reason="bogus")
+
+    def test_non_finite_deadline_rejected(self):
+        for bad in (float("nan"), float("inf"), -2.0):
+            with pytest.raises(ConfigurationError):
+                QueryRequest("q", ("a",), (1,), deadline_s=bad)
 
     def test_query_file_parsing(self, tmp_path):
         path = tmp_path / "queries.json"
@@ -218,12 +243,20 @@ class TestServeEngine:
         )
         report = engine.run()
         result = report.result("q1")
-        assert result.status == "partial"
-        assert result.partial_reason == "deadline"
+        assert result.status == "degraded"
+        assert result.degraded_reason == "deadline"
+        assert result.degraded is not None
+        assert "deadline" in result.degraded.reasons
         assert 0 < len(result.object_ids) < 10
         assert len(result.estimates["target"]) == len(result.object_ids)
+        # Timing-only degradation: every evaluated object had its full
+        # answer budget, so completeness is the object fraction alone.
+        assert result.degraded.completeness == pytest.approx(
+            len(result.object_ids) / 10
+        )
+        assert result.degraded.objects_evaluated == len(result.object_ids)
 
-    def test_budget_exhaustion_flags_partial(self, tiny_domain):
+    def test_budget_exhaustion_degrades(self, tiny_domain):
         # 4 numeric answers cost 1.6c; allow only the first object's worth.
         engine, platform = make_engine(tiny_domain, budget=Budget(1.7))
         engine.submit(
@@ -231,11 +264,23 @@ class TestServeEngine:
         )
         report = engine.run()
         result = report.result("q1")
-        assert result.status == "partial"
-        assert result.partial_reason == "budget"
+        assert result.status == "degraded"
+        assert result.degraded_reason == "budget"
         # Both objects evaluated; the unfunded one degraded, not dropped.
         assert len(result.object_ids) == 2
         assert platform.ledger.questions_by_category["value"] == 4
+        annotation = result.degraded
+        assert annotation is not None
+        assert annotation.reasons == ("budget",)
+        assert annotation.answers_demanded == 8
+        assert annotation.answers_served == 4
+        assert annotation.shortfalls == [TermShortfall(1, "target", 4, 0)]
+        assert 0.0 < annotation.completeness < 1.0
+        assert annotation.confidence == pytest.approx(0.95 * 4 / 8)
+        # The unfunded object's interval is widened by the range prior;
+        # the funded one still gets a finite, nonempty interval.
+        lo, hi = annotation.intervals["target"][1]
+        assert hi > lo
 
     def test_checkpoint_resume_without_repurchase(self, tiny_domain, tmp_path):
         plan = identity_plan("target", 4)

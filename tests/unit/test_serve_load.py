@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic skewed-workload generator."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import LoadSpec, generate_workload, percentile, zipf_weights
+
+pytestmark = [pytest.mark.serve, pytest.mark.load]
+
+SPEC = LoadSpec(
+    queries=200,
+    arrival_rate_qps=4.0,
+    zipf_s=1.2,
+    n_objects=50,
+    objects_per_query=3,
+    targets=("a", "b"),
+    deadline_s=10.0,
+    seed=11,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(25, 1.1).sum() == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        assert np.allclose(zipf_weights(10, 0.0), 0.1)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.5)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+
+
+class TestGenerateWorkload:
+    def test_deterministic_per_seed(self):
+        assert generate_workload(SPEC) == generate_workload(SPEC)
+        other = generate_workload(
+            LoadSpec(**{**SPEC.__dict__, "seed": SPEC.seed + 1})
+        )
+        assert other != generate_workload(SPEC)
+
+    def test_arrivals_strictly_increase(self):
+        times = [arrival for arrival, _ in generate_workload(SPEC)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert times[0] > 0.0
+
+    def test_mean_rate_roughly_matches(self):
+        times = [arrival for arrival, _ in generate_workload(SPEC)]
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(SPEC.arrival_rate_qps, rel=0.25)
+
+    def test_objects_sorted_distinct_in_range(self):
+        for _, request in generate_workload(SPEC):
+            objects = request.object_ids
+            assert len(objects) == SPEC.objects_per_query
+            assert len(set(objects)) == len(objects)
+            assert list(objects) == sorted(objects)
+            assert all(0 <= oid < SPEC.n_objects for oid in objects)
+
+    def test_popularity_skews_to_low_ids(self):
+        counts = collections.Counter()
+        for _, request in generate_workload(SPEC):
+            counts.update(request.object_ids)
+        head = sum(counts[oid] for oid in range(5))
+        tail = sum(counts[oid] for oid in range(SPEC.n_objects - 5, SPEC.n_objects))
+        assert head > 2 * tail
+
+    def test_targets_round_robin_and_ids_unique(self):
+        workload = generate_workload(SPEC)
+        assert [r.targets for _, r in workload[:4]] == [
+            ("a",),
+            ("b",),
+            ("a",),
+            ("b",),
+        ]
+        ids = [request.query_id for _, request in workload]
+        assert len(set(ids)) == len(ids)
+
+    def test_deadline_propagates(self):
+        assert all(
+            request.deadline_s == SPEC.deadline_s
+            for _, request in generate_workload(SPEC)
+        )
+        free = LoadSpec(queries=3, arrival_rate_qps=1.0)
+        assert all(r.deadline_s is None for _, r in generate_workload(free))
+
+
+class TestLoadSpecValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(queries=0, arrival_rate_qps=1.0)
+        with pytest.raises(ConfigurationError):
+            LoadSpec(queries=1, arrival_rate_qps=0.0)
+        with pytest.raises(ConfigurationError):
+            LoadSpec(queries=1, arrival_rate_qps=float("nan"))
+        with pytest.raises(ConfigurationError):
+            LoadSpec(queries=1, arrival_rate_qps=1.0, zipf_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            LoadSpec(
+                queries=1, arrival_rate_qps=1.0, n_objects=4, objects_per_query=5
+            )
+        with pytest.raises(ConfigurationError):
+            LoadSpec(queries=1, arrival_rate_qps=1.0, targets=())
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 90) == 5.0
+        assert percentile(values, 100) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.5], 99) == 7.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
