@@ -15,10 +15,19 @@ workload and reports, per point:
 Built-in correctness gates (hard failures, not just numbers):
 
 * the serve run's estimates for the first query are **byte-identical**
-  to the independent baseline run;
+  to the independent baseline run — since the engine generates through
+  the batched :class:`~repro.serve.stream.BatchedValueStream` and the
+  baseline through the scalar per-answer loop, this is also the
+  batched-vs-scalar parity gate;
 * ``--workers 1`` and ``--workers 4`` produce identical reports and
-  identical ledger spend;
-* at 50% overlap the spend reduction is at least 30%.
+  identical ledger spend, fault-free **and** under an injected fault
+  profile;
+* at 50% overlap the spend reduction is at least 30%;
+* single-core throughput is at least ``SPEEDUP_FLOOR``× the committed
+  pre-vectorization baseline (hard gate in full mode, warn-only in
+  ``--quick`` — CI treats wall-clock as advisory);
+* on a multi-core host, ``--workers 4`` throughput is not below
+  ``--workers 1`` (skipped on single-core runners).
 
 Results land in ``BENCH_serve.json`` at the repo root (CI's
 ``serve-smoke`` job and EXPERIMENTS.md quote it)::
@@ -30,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -46,6 +56,7 @@ from repro.durability import run_disq
 from repro.experiments.runner import make_query
 from repro.obs import Observability
 from repro.serve import CachedAnswerSource, QueryRequest, ServeEngine
+from repro.serve.faults import FaultProfile, RetryPolicy
 
 from common import recipes_domain, write_report
 
@@ -54,6 +65,19 @@ OUTPUT = REPO_ROOT / "BENCH_serve.json"
 
 SEED = 3
 TARGET = "protein"
+
+#: Single-core throughput of the scalar (pre-vectorization) engine,
+#: frozen from the last BENCH_serve.json committed before the batched
+#: hot path landed, per bench configuration.
+BASELINE_QPS = {"full": 19.309226330685757, "quick": 118.12716933025479}
+
+#: The vectorized hot path must clear this speedup over the scalar
+#: baseline on one core.
+SPEEDUP_FLOOR = 10.0
+
+#: Fault configuration for the faulted determinism gate.
+FAULTS = FaultProfile.uniform(0.08, latency_mean=0.05)
+RETRY = RetryPolicy(max_retries=3, base_delay=0.01)
 
 
 def overlap_windows(m: int, jaccard: float) -> tuple[range, range]:
@@ -91,15 +115,23 @@ def independent_run(plan, objects) -> tuple[dict, float]:
     return estimates, platform.ledger.spent_by_category["value"]
 
 
-def serve_run(plan, windows, workers: int, obs: Observability | None = None):
+def serve_run(
+    plan,
+    windows,
+    workers: int,
+    obs: Observability | None = None,
+    faulted: bool = False,
+):
     """The same workload through the engine; (report, value spend)."""
     platform = fresh_platform(obs)
-    engine = ServeEngine(platform, workers=workers)
+    kwargs = {"faults": FAULTS, "retry": RETRY} if faulted else {}
+    engine = ServeEngine(platform, workers=workers, **kwargs)
     for index, window in enumerate(windows):
         engine.submit(
             QueryRequest(f"q{index}", (TARGET,), tuple(window)), plan
         )
     report = engine.run()
+    engine.close()
     return report, platform.ledger.spent_by_category["value"]
 
 
@@ -180,12 +212,54 @@ def check_determinism(plan, m: int, worker_counts=(1, 4)) -> dict:
                 f"{worker_counts[0]}"
             )
         throughput[f"workers_{workers}_qps"] = report.queries_per_second
+    multi_core = (os.cpu_count() or 1) > 1
+    if multi_core and len(worker_counts) > 1:
+        solo = throughput[f"workers_{worker_counts[0]}_qps"]
+        multi = throughput[f"workers_{worker_counts[-1]}_qps"]
+        if multi < solo:
+            raise SystemExit(
+                f"FAIL: workers={worker_counts[-1]} throughput "
+                f"{multi:.1f} qps is below workers={worker_counts[0]} "
+                f"({solo:.1f} qps) on a {os.cpu_count()}-core host"
+            )
     return {
         "worker_counts": list(worker_counts),
         "identical_reports": True,
         "identical_spend": True,
+        "multi_core_scaling_checked": multi_core,
         "phases": phases,
         **throughput,
+    }
+
+
+def check_faulted_determinism(plan, m: int, worker_counts=(1, 4)) -> dict:
+    """The fault-injected purchase path must also be worker-count-proof.
+
+    The batched fault path (vectorized fault rolls + scalar replay of
+    faulted keys) shares nothing across keys, so reports and spend must
+    match the workers=1 reference exactly — degraded results, retry
+    counters and simulated latency included.
+    """
+    windows = overlap_windows(m, 0.5)
+    reference = None
+    reference_spend = None
+    for workers in worker_counts:
+        report, spend = serve_run(plan, windows, workers=workers, faulted=True)
+        payload = comparable(report)
+        if reference is None:
+            reference, reference_spend = payload, spend
+        elif payload != reference or spend != reference_spend:
+            raise SystemExit(
+                f"FAIL: faulted workers={workers} diverges from workers="
+                f"{worker_counts[0]}"
+            )
+    return {
+        "worker_counts": list(worker_counts),
+        "identical_reports": True,
+        "identical_spend": True,
+        "fault_rate": FAULTS.rates_for("value").timeout
+        + FAULTS.rates_for("value").abandon
+        + FAULTS.rates_for("value").garbage,
     }
 
 
@@ -203,6 +277,7 @@ def main() -> int:
     plan = make_plan(b_prc, n1)
     rows = sweep_overlaps(plan, overlaps, m)
     determinism = check_determinism(plan, m)
+    faulted = check_faulted_determinism(plan, m)
 
     at_half = next(r for r in rows if r["jaccard_overlap"] == 0.5)
     if at_half["saving_pct"] < 30.0:
@@ -210,6 +285,21 @@ def main() -> int:
             f"FAIL: saving at 50% overlap is {at_half['saving_pct']:.1f}% "
             f"(< 30% gate)"
         )
+
+    baseline_qps = BASELINE_QPS["quick" if args.quick else "full"]
+    speedup = determinism["workers_1_qps"] / baseline_qps
+    if speedup < SPEEDUP_FLOOR:
+        message = (
+            f"workers=1 throughput {determinism['workers_1_qps']:.1f} qps "
+            f"is {speedup:.1f}x the scalar baseline ({baseline_qps:.1f} "
+            f"qps), below the {SPEEDUP_FLOOR:.0f}x floor"
+        )
+        if args.quick:
+            # CI policy: identity gates are hard failures, wall-clock
+            # on a shared runner is advisory.
+            print(f"WARNING: {message}")
+        else:
+            raise SystemExit(f"FAIL: {message}")
 
     lines = [
         "serving engine: value-question spend vs. query overlap "
@@ -226,9 +316,13 @@ def main() -> int:
             f"{row['answers_saved']:>14d}"
         )
     lines.append(
-        f"determinism: workers {determinism['worker_counts']} identical; "
-        f"saving gate at 50% overlap: "
+        f"determinism: workers {determinism['worker_counts']} identical "
+        f"(fault-free and faulted); saving gate at 50% overlap: "
         f"{at_half['saving_pct']:.1f}% >= 30%"
+    )
+    lines.append(
+        f"throughput: {determinism['workers_1_qps']:.1f} qps on one core, "
+        f"{speedup:.1f}x the scalar baseline ({baseline_qps:.1f} qps)"
     )
     write_report("bench_serve", "\n".join(lines))
 
@@ -246,10 +340,15 @@ def main() -> int:
                 },
                 "overlap_sweep": rows,
                 "determinism": determinism,
+                "faulted_determinism": faulted,
                 "gates": {
                     "saving_at_half_overlap_pct": at_half["saving_pct"],
                     "saving_floor_pct": 30.0,
                     "baseline_identical": True,
+                    "batched_vs_scalar_identical": True,
+                    "scalar_baseline_qps": baseline_qps,
+                    "qps_speedup": speedup,
+                    "qps_speedup_floor": SPEEDUP_FLOOR,
                 },
             },
             indent=2,

@@ -40,8 +40,8 @@ class AnswerSource(Protocol):
     into its skip lists.
     """
 
-    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
-        """Return up to ``n`` value answers for one (object, attribute)."""
+    def fetch(self, object_id: int, attribute: str, n: int) -> np.ndarray:
+        """Up to ``n`` value answers for one (object, attribute), float64."""
         ...
 
 
@@ -51,8 +51,10 @@ class PlatformAnswerSource:
     def __init__(self, platform: CrowdPlatform) -> None:
         self.platform = platform
 
-    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
-        return self.platform.ask_value(object_id, attribute, n)
+    def fetch(self, object_id: int, attribute: str, n: int) -> np.ndarray:
+        return np.asarray(
+            self.platform.ask_value(object_id, attribute, n), dtype=np.float64
+        )
 
 
 class OnlineEvaluator:
@@ -166,21 +168,81 @@ class OnlineEvaluator:
                         attribute=attribute,
                     )
                     continue
-                if answers:
+                if len(answers):
                     means[attribute] = float(np.mean(answers))
             for target in plan.query.targets:
                 estimates[target] = plan.formula(target).estimate(means)
         return estimates
 
+    def estimate_objects(self, object_ids: Sequence[int]) -> dict[str, np.ndarray]:
+        """Batched :meth:`estimate_object`: target -> aligned value vector.
+
+        When the answer source declares itself pure
+        (``side_effect_free = True``, e.g. :class:`~repro.serve.cache.
+        CacheReadSource`), the per-object formula applies collapse into
+        one design-matrix column fold per plan
+        (:func:`~repro.core.regression.apply_formula_columns`), fetching
+        attribute-major — allowed precisely because a pure source has
+        no call-order-dependent state and never raises mid-fetch.  Any
+        other source falls back to the scalar per-object loop, so
+        results are identical either way, bit for bit.
+        """
+        from repro.core.regression import apply_formula_columns
+
+        object_ids = list(object_ids)
+        obs = self.platform.obs
+        if not getattr(self.source, "side_effect_free", False):
+            series: dict[str, list[float]] = {}
+            for object_id in object_ids:
+                estimates = self.estimate_object(object_id)
+                for target in self.targets:
+                    series.setdefault(target, []).append(
+                        estimates.get(target, float("nan"))
+                    )
+            return {
+                target: np.array(series.get(target, []), dtype=np.float64)
+                for target in self.targets
+            }
+
+        obs.metrics.inc("online.objects", len(object_ids))
+        count_objects = len(object_ids)
+        out: dict[str, np.ndarray] = {}
+        for plan, items in self._plan_items:
+            columns: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+            for attribute, count in items:
+                means = np.full(count_objects, np.nan, dtype=np.float64)
+                present = np.zeros(count_objects, dtype=bool)
+                rows = [
+                    self.source.fetch(object_id, attribute, count)
+                    for object_id in object_ids
+                ]
+                # Group rows by answer count and reduce each group with
+                # one axis-mean: numpy's pairwise summation over a
+                # contiguous row is bit-identical to np.mean of that
+                # row alone, so this matches the scalar loop exactly.
+                by_length: dict[int, list[int]] = {}
+                for row, answers in enumerate(rows):
+                    if len(answers):
+                        by_length.setdefault(len(answers), []).append(row)
+                for indices in by_length.values():
+                    stacked = np.stack([rows[i] for i in indices])
+                    means[indices] = np.mean(stacked, axis=1)
+                    present[indices] = True
+                columns[attribute] = (means, present)
+            for target in plan.query.targets:
+                formula = plan.formula(target)
+                if columns:
+                    out[target] = apply_formula_columns(formula, columns)
+                else:
+                    # A support-less budget: constant predictor per row.
+                    out[target] = np.full(
+                        count_objects, formula.intercept, dtype=np.float64
+                    )
+        return out
+
     def evaluate(self, object_ids: Iterable[int]) -> dict[str, np.ndarray]:
         """Estimates for many objects: target -> aligned value vector."""
-        object_ids = list(object_ids)
-        series: dict[str, list[float]] = {target: [] for target in self.targets}
-        for object_id in object_ids:
-            estimates = self.estimate_object(object_id)
-            for target in self.targets:
-                series[target].append(estimates.get(target, float("nan")))
-        return {target: np.array(values) for target, values in series.items()}
+        return self.estimate_objects(list(object_ids))
 
     def fill_table(self, table: DataTable, suffix: str = "_estimate") -> None:
         """Write estimated columns ``<target><suffix>`` into a table."""

@@ -188,6 +188,7 @@ class CrowdPlatform:
         # This is intentionally independent of the (possibly imperfect)
         # normalizer: a worker who says "big" still *means* "large" even
         # if the algorithm fails to merge the two names.
+        self._value_prices: dict[str, float] = {}
         self._surface_to_canonical: dict[str, str] = {}
         for attribute in domain.attributes():
             for form in domain.synonyms(attribute):
@@ -227,8 +228,17 @@ class CrowdPlatform:
         return self.domain.is_binary(self.resolve(name))
 
     def value_price(self, name: str) -> float:
-        """Cost in cents of one value question about ``name``."""
-        return self.prices.value_price(self.is_binary(name))
+        """Cost in cents of one value question about ``name``.
+
+        Memoized: the synonym map and price schedule are fixed at
+        construction, and the serving engine prices every key of every
+        wave through here.
+        """
+        price = self._value_prices.get(name)
+        if price is None:
+            price = self.prices.value_price(self.is_binary(name))
+            self._value_prices[name] = price
+        return price
 
     def _check_affordable(self, cost: float) -> None:
         """Raise before engaging workers if the budget cannot cover ``cost``."""

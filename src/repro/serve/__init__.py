@@ -38,7 +38,7 @@ from repro.serve.report import (
     load_query_file,
 )
 from repro.serve.scheduler import BoundedScheduler
-from repro.serve.stream import DeterministicValueStream
+from repro.serve.stream import BatchedValueStream, DeterministicValueStream
 
 __all__ = [
     "DEGRADE_REASONS",
@@ -47,6 +47,7 @@ __all__ = [
     "SHED_REASONS",
     "STATUSES",
     "AnswerCache",
+    "BatchedValueStream",
     "BoundedScheduler",
     "CacheReadSource",
     "CachedAnswerSource",

@@ -33,6 +33,8 @@ from __future__ import annotations
 import threading
 from typing import Any
 
+import numpy as np
+
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
 from repro.errors import ConfigurationError
@@ -41,18 +43,31 @@ from repro.serve.stream import DeterministicValueStream
 #: Cache keys are the recorder's value-tape keys: (object_id, attribute).
 CacheKey = tuple[int, str]
 
+_EMPTY = np.empty(0, dtype=np.float64)
+_EMPTY.setflags(write=False)
+
+
+def _frozen(answers) -> np.ndarray:
+    """A read-only float64 copy of one key's answer tape."""
+    array = np.array(answers, dtype=np.float64)
+    array.setflags(write=False)
+    return array
+
 
 class AnswerCache:
     """Purchased value answers keyed by ``(object_id, attribute)``.
 
     Append-only per key (answers are never evicted or reordered —
     eviction would break both replay determinism and the economics:
-    a bought answer is an asset).  Tracks hit/miss counts for the
-    serve report and serializes to JSON for checkpoints.
+    a bought answer is an asset).  Tapes are stored as read-only
+    float64 ndarrays so :meth:`answers` can hand out zero-copy views
+    to the evaluators instead of building a list per fetch.  Tracks
+    hit/miss counts for the serve report and serializes to JSON for
+    checkpoints.
     """
 
     def __init__(self) -> None:
-        self._answers: dict[CacheKey, list[float]] = {}
+        self._answers: dict[CacheKey, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
 
@@ -68,19 +83,34 @@ class AnswerCache:
         """How many answers are cached for one key."""
         return len(self._answers.get((object_id, attribute), ()))
 
-    def answers(self, object_id: int, attribute: str, n: int) -> list[float]:
-        """The first ``min(n, cached)`` answers of one key (a copy)."""
-        return list(self._answers.get((object_id, attribute), ())[:n])
+    def answers(self, object_id: int, attribute: str, n: int) -> np.ndarray:
+        """The first ``min(n, cached)`` answers of one key.
+
+        A read-only view of the stored tape — tapes are append-only by
+        replacement, so a view can never observe a mutation.
+        """
+        tape = self._answers.get((object_id, attribute))
+        if tape is None:
+            return _EMPTY
+        return tape[:n]
 
     def shortfall(self, object_id: int, attribute: str, n: int) -> int:
         """Answers still to buy so the key can serve ``n``."""
         return max(0, n - self.count(object_id, attribute))
 
-    def add(self, object_id: int, attribute: str, answers: list[float]) -> int:
+    def add(self, object_id: int, attribute: str, answers) -> int:
         """Append freshly purchased answers; returns the start index."""
-        sequence = self._answers.setdefault((object_id, attribute), [])
-        start = len(sequence)
-        sequence.extend(float(answer) for answer in answers)
+        key = (object_id, attribute)
+        fresh = np.asarray(answers, dtype=np.float64)
+        existing = self._answers.get(key)
+        if existing is None:
+            start = 0
+            tape = _frozen(fresh)
+        else:
+            start = len(existing)
+            tape = np.concatenate([existing, fresh])
+            tape.setflags(write=False)
+        self._answers[key] = tape
         return start
 
     def note_hits(self, count: int) -> None:
@@ -95,7 +125,7 @@ class AnswerCache:
         """JSON-serialisable copy of every cached answer."""
         return {
             "entries": [
-                {"object": oid, "attribute": attr, "answers": list(answers)}
+                {"object": oid, "attribute": attr, "answers": answers.tolist()}
                 for (oid, attr), answers in self._answers.items()
             ],
             "hits": self.hits,
@@ -106,9 +136,9 @@ class AnswerCache:
     def from_snapshot(cls, payload: dict) -> "AnswerCache":
         cache = cls()
         for entry in payload.get("entries", []):
-            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = [
-                float(answer) for answer in entry["answers"]
-            ]
+            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = (
+                _frozen(entry["answers"])
+            )
         cache.hits = int(payload.get("hits", 0))
         cache.misses = int(payload.get("misses", 0))
         return cache
@@ -123,9 +153,9 @@ class AnswerCache:
         """
         cache = cls()
         for entry in recorder.to_dict()["values"]:
-            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = [
-                float(answer) for answer in entry["answers"]
-            ]
+            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = (
+                _frozen(entry["answers"])
+            )
         return cache
 
 
@@ -168,7 +198,7 @@ class CachedAnswerSource:
         #: fetches cannot double-buy a key or tear the ledger.
         self._lock = threading.Lock()
 
-    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
+    def fetch(self, object_id: int, attribute: str, n: int) -> np.ndarray:
         """Up to ``n`` answers: cached prefix plus purchased shortfall.
 
         Raises :class:`~repro.errors.BudgetExhaustedError` when the
@@ -176,7 +206,7 @@ class CachedAnswerSource:
         or cached in that case).
         """
         if n <= 0:
-            return []
+            return _EMPTY
         with self._lock:
             cached = self.cache.count(object_id, attribute)
             hits = min(cached, n)
@@ -219,10 +249,16 @@ class CacheReadSource:
     wave — so concurrent evaluators can share one instance freely.
     """
 
+    #: Contract flag for :meth:`OnlineEvaluator.estimate_objects`:
+    #: fetches are pure reads (no accounting, no mutation) and never
+    #: raise for ``n >= 0``, so the evaluator may reorder them freely
+    #: and use the batched design-matrix path.
+    side_effect_free = True
+
     def __init__(self, cache: AnswerCache) -> None:
         self.cache = cache
 
-    def fetch(self, object_id: int, attribute: str, n: int) -> list[float]:
+    def fetch(self, object_id: int, attribute: str, n: int) -> np.ndarray:
         if n < 0:
             raise ConfigurationError(f"cannot fetch {n} answers")
         return self.cache.answers(object_id, attribute, n)

@@ -161,8 +161,12 @@ def order_reasons(reasons: set[str]) -> tuple[str, ...]:
     return tuple(reason for reason in DEGRADE_REASONS if reason in reasons)
 
 
-def population_variance(values: list[float]) -> float:
-    """Population (``ddof=0``) variance of a non-empty sample."""
+def population_variance(values) -> float:
+    """Population (``ddof=0``) variance of a non-empty sample.
+
+    Accepts any float sequence (list or ndarray); the left-fold sums
+    keep the result byte-stable across both.
+    """
     n = len(values)
     mean = sum(values) / n
     return sum((value - mean) ** 2 for value in values) / n
@@ -170,12 +174,13 @@ def population_variance(values: list[float]) -> float:
 
 def widened_interval(
     estimate: float,
-    terms: list[tuple[float, list[float], int, float]],
+    terms: list,
 ) -> list[float]:
     """A shortfall-inflated 95%-style interval around one estimate.
 
     ``terms`` holds ``(coefficient, answers, demanded, prior_variance)``
-    per formula term; ``prior_variance`` stands in for the sample
+    per formula term (``answers`` a float sequence — the cache now
+    hands out ndarrays); ``prior_variance`` stands in for the sample
     variance of a term that got *zero* answers (a range-based bound),
     so empty terms widen the interval instead of silently vanishing
     from it.
@@ -188,7 +193,7 @@ def widened_interval(
         served_total += len(answers)
         if not demanded:
             continue
-        if answers:
+        if len(answers):
             variance += coefficient**2 * population_variance(answers) / len(answers)
         else:
             variance += coefficient**2 * prior_variance

@@ -88,7 +88,7 @@ from repro.serve.degrade import (
 from repro.serve.faults import KeyPurchase, ResilientValueStream
 from repro.serve.report import QueryRequest, QueryResult, ServeReport
 from repro.serve.scheduler import BoundedScheduler
-from repro.serve.stream import DeterministicValueStream
+from repro.serve.stream import BatchedValueStream
 
 #: Journal and checkpoint filenames under the engine's checkpoint_dir
 #: (distinct from the offline pipeline's files so one directory can
@@ -100,6 +100,19 @@ SERVE_CHECKPOINT = "serve.checkpoint.json"
 #: answer-stream seed (the same scheme the offline platform uses for
 #: its injector), so enabling faults never perturbs answer values.
 _FAULT_SEED_MIX = 2654435761
+
+
+def _chunked(items: list, parts: int) -> list[list]:
+    """Split ``items`` into up to ``parts`` contiguous near-equal chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    chunks: list[list] = []
+    position = 0
+    for index in range(parts):
+        width = size + (1 if index < extra else 0)
+        chunks.append(items[position : position + width])
+        position += width
+    return chunks
 
 
 @dataclass
@@ -205,7 +218,11 @@ class ServeEngine:
         self.scheduler = BoundedScheduler(workers)
         self.max_queue = max_queue
         self.wave_size = wave_size
-        self.stream = DeterministicValueStream(platform, seed)
+        # The batched stream is a strict superset of the scalar one
+        # (same class contract, same per-coordinate generators); waves
+        # generate through answers_many / purchase_batch and fall back
+        # to the scalar path lane by lane where the kernels reject.
+        self.stream = BatchedValueStream(platform, seed)
         self.cache = AnswerCache()
         self._clock = clock
         self.shed_expired = shed_expired
@@ -340,9 +357,10 @@ class ServeEngine:
         self.checkpoints.save(payload)
 
     def close(self) -> None:
-        """Flush and close the journal (if durability is on)."""
+        """Flush and close the journal (if durability is on) and join workers."""
         if self.journal is not None:
             self.journal.close()
+        self.scheduler.close()
 
     def __enter__(self) -> "ServeEngine":
         return self
@@ -550,26 +568,46 @@ class ServeEngine:
         with self.obs.tracer.span(
             "serve.purchase", keys=len(shortfalls), answers=fresh_total
         ):
+            # Keys are chunked per worker (not one task per key): the
+            # per-task overhead of a thread-pool submission exceeds the
+            # per-key work, and the batched kernels amortize best over
+            # large contiguous request lists.  Chunking cannot affect
+            # results — every lane's draws come only from its own
+            # coordinate stream.
             if self.resilient is None:
-                generated = self.scheduler.run(
-                    lambda item: self.stream.answers(
-                        item[0][0], item[0][1], item[1], item[2]
-                    ),
-                    shortfalls,
-                )
+                stream = self.stream
+                requests = [
+                    (key[0], key[1], start, count)
+                    for key, start, count in shortfalls
+                ]
+                generated = [
+                    answers
+                    for batch in self.scheduler.run(
+                        stream.answers_many,
+                        _chunked(requests, self.scheduler.workers),
+                    )
+                    for answers in batch
+                ]
             else:
                 resilient = self.resilient
                 lost_before = self._lost
-                generated = self.scheduler.run(
-                    lambda item: resilient.purchase(
-                        item[0][0],
-                        item[0][1],
-                        item[1] + lost_before.get(item[0], 0),
-                        item[2],
-                        blocked,
-                    ),
-                    shortfalls,
-                )
+                requests = [
+                    (
+                        key[0],
+                        key[1],
+                        start + lost_before.get(key, 0),
+                        count,
+                    )
+                    for key, start, count in shortfalls
+                ]
+                generated = [
+                    purchase
+                    for batch in self.scheduler.run(
+                        lambda chunk: resilient.purchase_batch(chunk, blocked),
+                        _chunked(requests, self.scheduler.workers),
+                    )
+                    for purchase in batch
+                ]
             self._kill_point("serve.generate")
 
             # Phase 3 (serial, sorted key order): check affordability,
@@ -726,17 +764,23 @@ class ServeEngine:
         evaluator = OnlineEvaluator(self.platform, pending.plans, answer_source=source)
         estimates: dict[str, list[float]] = {t: [] for t in request.targets}
         deadline_hit = False
-        for object_id in request.object_ids:
-            if (
-                request.deadline_s is not None
-                and self._clock() - pending.admitted_at > request.deadline_s
-            ):
-                deadline_hit = True
-                break
-            values = evaluator.estimate_object(object_id)
-            result.object_ids.append(object_id)
+        if request.deadline_s is None:
+            # No deadline to poll between objects: evaluate the whole
+            # query as one design-matrix fold (bit-identical to the
+            # per-object loop below — see estimate_objects).
+            batch = evaluator.estimate_objects(list(request.object_ids))
+            result.object_ids.extend(request.object_ids)
             for target in request.targets:
-                estimates[target].append(values[target])
+                estimates[target] = batch[target].tolist()
+        else:
+            for object_id in request.object_ids:
+                if self._clock() - pending.admitted_at > request.deadline_s:
+                    deadline_hit = True
+                    break
+                values = evaluator.estimate_object(object_id)
+                result.object_ids.append(object_id)
+                for target in request.targets:
+                    estimates[target].append(values[target])
         result.estimates = estimates
         if request.predicate is not None:
             predicate = request.predicate

@@ -30,10 +30,12 @@ serves the query anyway, degraded, with the shortfall reported.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.crowd.faults import (
+    VALUE_MARGIN_SPANS,
     FaultKind,
     FaultProfile,
     FaultRates,
@@ -42,7 +44,8 @@ from repro.crowd.faults import (
     draw_outcome,
     plausible_value,
 )
-from repro.serve.stream import DeterministicValueStream
+from repro.serve.stream import BatchedValueStream, DeterministicValueStream
+from repro.serve.vecrng import uniform_doubles, ziggurat_exponentials
 
 
 @dataclass(frozen=True)
@@ -106,13 +109,19 @@ class ResilientValueStream:
         self.policy = policy
         self.seed = int(seed)
         self._rates: FaultRates = profile.rates_for("value")
-        self._ranges: dict[str, tuple[float, float]] = {}
+        # Attribute resolution is pure; memoize it per surface form the
+        # same way DeterministicValueStream._resolve does, so a
+        # purchase resolves each key once instead of per call.
+        self._resolved: dict[str, tuple[str, int, float, float]] = {}
 
-    def _answer_range(self, canonical: str) -> tuple[float, float]:
-        cached = self._ranges.get(canonical)
+    def _resolve_key(self, attribute: str) -> tuple[str, int, float, float]:
+        """``(canonical, attr_key, low, high)`` for one attribute, memoized."""
+        cached = self._resolved.get(attribute)
         if cached is None:
-            cached = self.stream.domain.answer_range(canonical)
-            self._ranges[canonical] = cached
+            canonical, attr_key = self.stream.resolve(attribute)
+            low, high = self.stream.domain.answer_range(canonical)
+            cached = (canonical, attr_key, float(low), float(high))
+            self._resolved[attribute] = cached
         return cached
 
     def _draw_worker(self, rng: np.random.Generator, blocked: frozenset[int]):
@@ -147,8 +156,7 @@ class ResilientValueStream:
         index, attempt)`` coordinates and ``blocked`` — never on call
         order, thread scheduling or purchase batching.
         """
-        canonical, attr_key = self.stream.resolve(attribute)
-        low, high = self._answer_range(canonical)
+        canonical, attr_key, low, high = self._resolve_key(attribute)
         domain = self.stream.domain
         result = KeyPurchase()
         for index in range(start, start + count):
@@ -187,3 +195,103 @@ class ResilientValueStream:
             if not obtained:
                 result.lost += 1
         return result
+
+    def purchase_batch(
+        self,
+        requests: Sequence[tuple[int, str, int, int]],
+        blocked: frozenset[int],
+    ) -> list[KeyPurchase]:
+        """Batched :meth:`purchase` over many keys.
+
+        The common case under realistic fault rates is that every
+        answer succeeds on its first attempt, so the batch computes all
+        first attempts vectorized — worker draw, latency, fault roll,
+        answer value and plausibility check as array ops over every
+        lane at once — and falls back to the scalar :meth:`purchase`
+        only for keys where *any* lane deviates from that fast path:
+        an actual fault, a quarantined-worker redraw, a kernel
+        rejection (Lemire / ziggurat) or a worker type without a
+        vectorized contract.  Results are byte-identical to calling
+        :meth:`purchase` per key.
+        """
+        if not requests:
+            return []
+        stream = self.stream
+
+        def scalar() -> list[KeyPurchase]:
+            return [
+                self.purchase(obj, attr, start, count, blocked)
+                for obj, attr, start, count in requests
+            ]
+
+        if not isinstance(stream, BatchedValueStream):
+            return scalar()
+        if not sum(count for _, _, _, count in requests):
+            return [KeyPurchase() for _ in requests]
+        metas = [stream.key_meta(obj, attr) for obj, attr, _, _ in requests]
+        lanes = stream.batch_lanes(requests, metas, self.seed, attempt_column=True)
+        if lanes is None:
+            return scalar()
+        counts, index_lane, tape, widx, ok = lanes
+        total = int(counts.sum())
+
+        worker_ids, proneness = stream.fault_columns()
+        wid_lane = worker_ids[widx]
+        if blocked:
+            # Any quarantined-worker hit redraws in the scalar path;
+            # send the whole key there.
+            ok &= ~np.isin(wid_lane, np.fromiter(blocked, dtype=np.int64))
+
+        rates = self._rates
+        prone_lane = proneness[widx]
+        if rates.latency_mean > 0:
+            exps, exp_ok = ziggurat_exponentials(tape.next64())
+            ok &= exp_ok
+            latency = rates.latency_mean * exps
+        else:
+            latency = np.zeros(total, dtype=np.float64)
+
+        roll = uniform_doubles(tape.next64())
+        p_timeout = np.minimum(rates.timeout * prone_lane, 1.0)
+        p_abandon = np.minimum(rates.abandon * prone_lane, 1.0)
+        p_garbage = np.minimum(rates.garbage * prone_lane, 1.0)
+        threshold = p_timeout + p_abandon
+        threshold = threshold + p_garbage
+        ok &= roll >= threshold  # any fault kind → scalar replay
+
+        values, math_ok = stream._worker_math(metas, counts, widx, tape.next64())
+        ok &= math_ok
+
+        low = np.repeat(
+            np.array([meta.low for meta in metas], dtype=np.float64), counts
+        )
+        high = np.repeat(
+            np.array([meta.high for meta in metas], dtype=np.float64), counts
+        )
+        margin = VALUE_MARGIN_SPANS * np.maximum(high - low, 1.0)
+        ok &= np.isfinite(values)
+        ok &= values >= low - margin
+        ok &= values <= high + margin
+
+        bounds = np.cumsum(counts)
+        seg_starts = bounds - counts
+        results: list[KeyPurchase] = []
+        for i, (obj, attr, start, count) in enumerate(requests):
+            begin, end = int(seg_starts[i]), int(bounds[i])
+            if count and not ok[begin:end].all():
+                results.append(self.purchase(obj, attr, start, count, blocked))
+                continue
+            purchase = KeyPurchase()
+            purchase.answers = values[begin:end].tolist()
+            purchase.attempts = [
+                Attempt(int(worker_id), False)
+                for worker_id in wid_lane[begin:end].tolist()
+            ]
+            # Left-fold like the scalar `+=` per attempt (not np.sum,
+            # whose pairwise order would change low bits).
+            sim_seconds = 0.0
+            for lane_latency in latency[begin:end].tolist():
+                sim_seconds += lane_latency
+            purchase.sim_seconds = sim_seconds
+            results.append(purchase)
+        return results

@@ -28,7 +28,15 @@ ResultT = TypeVar("ResultT")
 
 
 class BoundedScheduler:
-    """Apply a function over items with at most ``workers`` threads."""
+    """Apply a function over items with at most ``workers`` threads.
+
+    The thread pool is created lazily on the first parallel ``run`` and
+    reused for the scheduler's lifetime — spawning a pool per wave cost
+    more than a wave's worth of work once generation was vectorized.
+    Call :meth:`close` (the engine does) to join the threads; an
+    unclosed pool is still joined at interpreter exit by the executor's
+    own atexit hook.
+    """
 
     def __init__(self, workers: int = 1) -> None:
         if workers < 1:
@@ -36,6 +44,7 @@ class BoundedScheduler:
                 f"the scheduler needs at least one worker, got {workers}"
             )
         self.workers = int(workers)
+        self._pool: ThreadPoolExecutor | None = None
 
     def run(
         self,
@@ -52,5 +61,12 @@ class BoundedScheduler:
         sequence: Sequence[ItemT] = list(items)
         if self.workers == 1 or len(sequence) <= 1:
             return [fn(item) for item in sequence]
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, sequence))
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return list(self._pool.map(fn, sequence))
+
+    def close(self) -> None:
+        """Shut down the pool (idempotent; a later ``run`` re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -144,6 +144,83 @@ class TestOnlineEvaluator:
         )
 
 
+class TestEstimateObjectsBatched:
+    """The design-matrix path must equal the scalar per-object loop."""
+
+    def fill_cache(self, platform, attributes, objects, count):
+        from repro.serve import AnswerCache, CacheReadSource
+        from repro.serve.stream import DeterministicValueStream
+
+        stream = DeterministicValueStream(platform)
+        cache = AnswerCache()
+        for object_id in objects:
+            for attribute in attributes:
+                cache.add(
+                    object_id,
+                    attribute,
+                    stream.answers(object_id, attribute, 0, count),
+                )
+        return CacheReadSource(cache)
+
+    def test_pure_source_matches_scalar_loop(self, tiny_platform):
+        plans = [identity_plan("target", 5), identity_plan("helper", 3)]
+        source = self.fill_cache(
+            tiny_platform, ("target", "helper"), range(12), 5
+        )
+        assert source.side_effect_free
+        batched = OnlineEvaluator(
+            tiny_platform, plans, answer_source=source
+        ).estimate_objects(list(range(12)))
+        scalar_eval = OnlineEvaluator(
+            tiny_platform, plans, answer_source=source
+        )
+        scalar_eval.source = _OpaqueSource(source)  # forces the scalar loop
+        scalar = scalar_eval.estimate_objects(list(range(12)))
+        assert set(batched) == set(scalar) == {"target", "helper"}
+        for target in batched:
+            assert np.array_equal(batched[target], scalar[target])
+
+    def test_missing_answers_drop_terms_identically(self, tiny_platform):
+        # Only even objects have cached answers: odd rows must fall back
+        # to the intercept in both paths, bit for bit.
+        source = self.fill_cache(
+            tiny_platform, ("target",), range(0, 10, 2), 4
+        )
+        evaluator = OnlineEvaluator(
+            tiny_platform, identity_plan("target", 4), answer_source=source
+        )
+        batched = evaluator.estimate_objects(list(range(10)))
+        evaluator.source = _OpaqueSource(source)
+        scalar = evaluator.estimate_objects(list(range(10)))
+        assert np.array_equal(batched["target"], scalar["target"])
+        assert batched["target"][1] == 0.0  # identity plan's intercept
+
+    def test_object_counter_counts_once_per_object(self, tiny_domain):
+        from repro.crowd.platform import CrowdPlatform
+        from repro.crowd.recording import AnswerRecorder
+        from repro.obs import Observability
+
+        obs = Observability.collecting()
+        platform = CrowdPlatform(
+            tiny_domain, recorder=AnswerRecorder(), seed=3, obs=obs
+        )
+        source = self.fill_cache(platform, ("target",), range(6), 2)
+        OnlineEvaluator(
+            platform, identity_plan("target", 2), answer_source=source
+        ).estimate_objects(list(range(6)))
+        assert obs.metrics.counter("online.objects") == 6
+
+
+class _OpaqueSource:
+    """Wraps a pure source while hiding its ``side_effect_free`` flag."""
+
+    def __init__(self, source):
+        self._source = source
+
+    def fetch(self, object_id, attribute, n):
+        return self._source.fetch(object_id, attribute, n)
+
+
 class TestErrorMetrics:
     def test_target_error_zero_on_truth(self, tiny_domain):
         truth = np.array([tiny_domain.true_value(o, "target") for o in range(5)])

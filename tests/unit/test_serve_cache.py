@@ -30,7 +30,7 @@ class TestAnswerCache:
         cache = AnswerCache()
         assert cache.add(1, "a", [1.0]) == 0
         assert cache.add(1, "a", [2.0, 3.0]) == 1
-        assert cache.answers(1, "a", 10) == [1.0, 2.0, 3.0]
+        assert cache.answers(1, "a", 10).tolist() == [1.0, 2.0, 3.0]
 
     def test_keys_are_object_and_attribute(self):
         cache = AnswerCache()
@@ -50,8 +50,8 @@ class TestAnswerCache:
         cache.note_hits(3)
         cache.note_misses(2)
         restored = AnswerCache.from_snapshot(cache.snapshot())
-        assert restored.answers(1, "a", 5) == [1.5, 2.5]
-        assert restored.answers(7, "b", 5) == [0.25]
+        assert restored.answers(1, "a", 5).tolist() == [1.5, 2.5]
+        assert restored.answers(7, "b", 5).tolist() == [0.25]
         assert restored.hits == 3
         assert restored.misses == 2
 
@@ -59,7 +59,7 @@ class TestAnswerCache:
         recorder = AnswerRecorder()
         recorder.value_answers(3, "a", 0, 2, iter([1.25, 1.75]).__next__)
         cache = AnswerCache.from_recorder(recorder)
-        assert cache.answers(3, "a", 5) == [1.25, 1.75]
+        assert cache.answers(3, "a", 5).tolist() == [1.25, 1.75]
 
 
 class TestDeterministicValueStream:
@@ -69,8 +69,8 @@ class TestDeterministicValueStream:
         forward = [stream.answer(5, "target", i) for i in range(6)]
         backward = [stream.answer(5, "target", i) for i in reversed(range(6))]
         assert forward == list(reversed(backward))
-        assert stream.answers(5, "target", 0, 6) == forward
-        assert stream.answers(5, "target", 2, 3) == forward[2:5]
+        assert stream.answers(5, "target", 0, 6).tolist() == forward
+        assert stream.answers(5, "target", 2, 3).tolist() == forward[2:5]
 
     def test_streams_differ_across_keys(self, tiny_platform):
         stream = DeterministicValueStream(tiny_platform)
@@ -95,11 +95,11 @@ class TestCachedAnswerSource:
         first = source.fetch(1, "target", 4)
         spent_after_first = tiny_platform.ledger.total_spent
         again = source.fetch(1, "target", 4)
-        assert again == first
+        assert np.array_equal(again, first)
         assert tiny_platform.ledger.total_spent == spent_after_first
         assert tiny_platform.ledger.total_saved_answers == 4
         more = source.fetch(1, "target", 6)
-        assert more[:4] == first
+        assert np.array_equal(more[:4], first)
         # Only the 2 extra answers were purchased.
         assert tiny_platform.ledger.questions_by_category["value"] == 6
 
@@ -127,8 +127,8 @@ class TestCachedAnswerSource:
             )
             return CachedAnswerSource(platform).fetch(2, "target", n)
 
-        assert answers(5) == answers(5)
-        assert answers(8)[:5] == answers(5)
+        assert np.array_equal(answers(5), answers(5))
+        assert np.array_equal(answers(8)[:5], answers(5))
 
     def test_budget_exhaustion_buys_nothing(self, tiny_domain):
         platform = CrowdPlatform(
@@ -158,7 +158,7 @@ class TestCachedAnswerSource:
         got = source.fetch(1, "target", 3)
         source.fetch(1, "target", 3)  # cache hit: no new records
         assert [r[2] for r in sink.records] == [0, 1, 2]
-        assert [r[3] for r in sink.records] == got
+        assert [r[3] for r in sink.records] == got.tolist()
         assert all(r[0] == "value" and r[1] == (1, "target") for r in sink.records)
 
 
@@ -167,8 +167,8 @@ class TestCacheReadSource:
         cache = AnswerCache()
         cache.add(1, "target", [1.0, 2.0])
         source = CacheReadSource(cache)
-        assert source.fetch(1, "target", 2) == [1.0, 2.0]
+        assert source.fetch(1, "target", 2).tolist() == [1.0, 2.0]
         # Asking beyond the cache returns the prefix, buys nothing.
-        assert source.fetch(1, "target", 9) == [1.0, 2.0]
-        assert source.fetch(2, "target", 3) == []
+        assert source.fetch(1, "target", 9).tolist() == [1.0, 2.0]
+        assert source.fetch(2, "target", 3).tolist() == []
         assert tiny_platform.ledger.total_spent == 0
