@@ -19,13 +19,21 @@ workload additionally runs under ``--workers 1`` and ``--workers 4``
 and the two reports must be byte-identical (the resilient purchase
 path's determinism gate).
 
+The sharded section re-drives the faulted workload at several shard
+counts (``--shards N``, DESIGN.md §15) and records sustained qps per
+topology; because per-coordinate seeding makes shard placement
+invisible to answer values, every sharded report must stay
+byte-identical to the unsharded one.
+
 Hard gates (process exit != 0 on failure):
 
 * every admitted query is accounted for — completed, degraded or shed,
   never silently dropped;
 * deadline hit-rate >= 95% on the faulted run;
 * at least 90% of non-completed queries are degraded rather than shed;
-* sustained harness throughput >= a (lenient) wall-clock floor.
+* sustained harness throughput >= a (lenient) wall-clock floor;
+* shards=1 is byte-identical to unsharded (report, ledger, simulated
+  clock), and the faulted workload is identical at every shard count.
 
 Results land in ``BENCH_load.json`` at the repo root (CI's
 ``load-smoke`` job and EXPERIMENTS.md quote it)::
@@ -37,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import sys
 import time
 from pathlib import Path
@@ -85,7 +94,14 @@ def make_plan(b_prc: float, n1: int):
     return run.plan
 
 
-def drive(plan, workload, workers: int, faults: FaultProfile | None) -> dict:
+def drive(
+    plan,
+    workload,
+    workers: int,
+    faults: FaultProfile | None,
+    shards: int = 0,
+    shard_processes: bool = False,
+) -> dict:
     """Feed one workload through a fresh engine on a simulated clock.
 
     Returns the raw material for a summary: the final report, per-query
@@ -93,7 +109,10 @@ def drive(plan, workload, workers: int, faults: FaultProfile | None) -> dict:
     """
     sim = SimulatedClock()
     platform = CrowdPlatform(recipes_domain(), recorder=AnswerRecorder(), seed=SEED)
-    engine = ServeEngine(
+    arrivals: dict[str, float] = {}
+    completions: dict[str, float] = {}
+    wall_started = time.perf_counter()
+    with ServeEngine(
         platform,
         workers=workers,
         max_queue=256,
@@ -101,28 +120,28 @@ def drive(plan, workload, workers: int, faults: FaultProfile | None) -> dict:
         faults=faults,
         retry=RETRY,
         fault_clock=sim,
-    )
-    arrivals: dict[str, float] = {}
-    completions: dict[str, float] = {}
-    wall_started = time.perf_counter()
-    position = 0
-    report = None
-    while position < len(workload):
-        batch_end = workload[position][0] + DISPATCH_INTERVAL_S
-        batch = []
-        while position < len(workload) and workload[position][0] <= batch_end:
-            batch.append(workload[position])
-            position += 1
-        # Arrivals advance the clock; a slow previous wave may already
-        # have pushed it past this batch's dispatch time (queue wait).
-        if batch_end > sim.now:
-            sim.advance(batch_end - sim.now)
-        for arrived_at, request in batch:
-            arrivals[request.query_id] = arrived_at
-            engine.submit(request, plan)
-        report = engine.run()
-        for _, request in batch:
-            completions[request.query_id] = sim.now
+        shards=shards,
+        shard_processes=shard_processes,
+    ) as engine:
+        position = 0
+        report = None
+        while position < len(workload):
+            batch_end = workload[position][0] + DISPATCH_INTERVAL_S
+            batch = []
+            while position < len(workload) and workload[position][0] <= batch_end:
+                batch.append(workload[position])
+                position += 1
+            # Arrivals advance the clock; a slow previous wave may
+            # already have pushed it past this batch's dispatch time
+            # (queue wait).
+            if batch_end > sim.now:
+                sim.advance(batch_end - sim.now)
+            for arrived_at, request in batch:
+                arrivals[request.query_id] = arrived_at
+                engine.submit(request, plan)
+            report = engine.run()
+            for _, request in batch:
+                completions[request.query_id] = sim.now
     wall_seconds = time.perf_counter() - wall_started
     assert report is not None
     latencies = {
@@ -237,6 +256,41 @@ def main() -> int:
     ):
         raise SystemExit("FAIL: faulted run diverges between workers 1 and 4")
 
+    # Sharded scaling: re-drive the faulted workload at increasing
+    # shard counts (plus one forked-process topology when the host
+    # supports fork).  Shard placement must be invisible — every run
+    # byte-identical to the unsharded faulted baseline — while the
+    # section records sustained qps per topology.
+    shard_counts = (1, 2, 4)
+    topologies = [(n, False) for n in shard_counts]
+    if "fork" in multiprocessing.get_all_start_methods():
+        topologies.append((2, True))
+    sharded_rows = []
+    for n_shards, processes in topologies:
+        outcome = drive(
+            plan, workload, 1, faults, shards=n_shards, shard_processes=processes
+        )
+        if (
+            comparable(outcome["report"]) != comparable(faulted_run["report"])
+            or outcome["ledger"] != faulted_run["ledger"]
+            or outcome["sim_seconds"] != faulted_run["sim_seconds"]
+        ):
+            raise SystemExit(
+                f"FAIL: shards={n_shards} (processes={processes}) faulted "
+                f"run diverges from the unsharded baseline"
+            )
+        mode = "processes" if processes else "threads"
+        summary = summarize(outcome, workload, f"shards={n_shards}/{mode}")
+        sharded_rows.append(
+            {
+                "shards": n_shards,
+                "processes": processes,
+                "wall_seconds": summary["wall_seconds"],
+                "wall_qps": summary["wall_qps"],
+                "identical_to_unsharded": True,
+            }
+        )
+
     for summary in (clean, faulted):
         if summary["accounted"] != summary["queries"]:
             raise SystemExit(
@@ -279,6 +333,16 @@ def main() -> int:
     lines.append(
         "determinism: faulted workload identical across workers 1 and 4"
     )
+    lines.append(
+        "sharded: "
+        + ", ".join(
+            f"shards={row['shards']}"
+            + ("/proc" if row["processes"] else "")
+            + f" {row['wall_qps']:.1f} qps"
+            for row in sharded_rows
+        )
+        + " — all byte-identical to unsharded"
+    )
     write_report("bench_load", "\n".join(lines))
 
     OUTPUT.write_text(
@@ -307,12 +371,18 @@ def main() -> int:
                     "identical_reports": True,
                     "identical_ledgers": True,
                 },
+                "sharded": {
+                    "shard_counts": list(shard_counts),
+                    "rows": sharded_rows,
+                    "identical_to_unsharded": True,
+                },
                 "gates": {
                     "deadline_hit_rate": faulted["deadline_hit_rate"],
                     "deadline_hit_rate_floor": 0.95,
                     "degrade_over_shed_floor": 0.9,
                     "wall_qps_floor": qps_floor,
                     "all_queries_accounted": True,
+                    "sharded_identical": True,
                 },
             },
             indent=2,

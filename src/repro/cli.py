@@ -48,7 +48,12 @@ from repro.experiments import (
 from repro.experiments.runner import make_query
 from repro.obs import NULL_OBS, Observability
 from repro.obs.manifest import build_manifest, write_manifest
-from repro.serve import ServeEngine, load_query_file
+from repro.serve import (
+    AdmissionPolicy,
+    ServeEngine,
+    admit_and_serve,
+    load_query_file,
+)
 
 #: Exit code for bad configuration (flags, budgets, checkpoint mismatch).
 EXIT_CONFIGURATION_ERROR = 2
@@ -303,7 +308,15 @@ def cmd_serve(args) -> int:
         domain, recorder=AnswerRecorder(), seed=args.seed, obs=obs
     )
     requests = load_query_file(args.queries)
-    engine = ServeEngine(
+    admission_flags = (
+        args.admit_reject_depth,
+        args.admit_degrade_depth,
+        args.admit_headroom,
+    )
+    decisions: dict[str, int] | None = None
+    # The engine owns journals, shard processes and a thread pool; the
+    # context manager guarantees none of them outlive the command.
+    with ServeEngine(
         platform,
         workers=args.workers,
         max_queue=args.max_queue,
@@ -313,31 +326,63 @@ def cmd_serve(args) -> int:
         faults=faults,
         chaos=_make_chaos(args),
         shed_expired=args.shed_expired,
-    )
-    if engine.resumed:
-        print(
-            f"resumed serving run: {engine.cache.total_answers} cached "
-            f"answers restored"
-        )
-    # One offline plan per distinct target set; queries sharing targets
-    # share the plan (and, through the cache, each other's answers).
-    plans: dict[tuple[str, ...], object] = {}
-    with obs.tracer.span("serve.plan"):
-        for request in requests:
-            key = request.targets
-            if key not in plans:
-                run = run_disq(
-                    platform,
-                    make_query(domain, key),
-                    args.b_obj,
-                    args.b_prc,
-                    DisQParams(n1=args.n1),
-                )
-                plans[key] = run.plan
-            engine.submit(request, plans[key])
-    report = engine.run()
-    engine.close()
+        shards=args.shards,
+        shard_processes=args.shard_processes,
+    ) as engine:
+        if engine.resumed:
+            print(
+                f"resumed serving run: {engine.cache.total_answers} cached "
+                f"answers restored"
+            )
+        # One offline plan per distinct target set; queries sharing
+        # targets share the plan (and, through the cache, each other's
+        # answers).
+        plans: dict[tuple[str, ...], object] = {}
+        with obs.tracer.span("serve.plan"):
+            for request in requests:
+                key = request.targets
+                if key not in plans:
+                    run = run_disq(
+                        platform,
+                        make_query(domain, key),
+                        args.b_obj,
+                        args.b_prc,
+                        DisQParams(n1=args.n1),
+                    )
+                    plans[key] = run.plan
+        if any(flag is not None for flag in admission_flags):
+            policy = AdmissionPolicy(
+                reject_depth=(
+                    args.admit_reject_depth
+                    if args.admit_reject_depth is not None
+                    else AdmissionPolicy.reject_depth
+                ),
+                degrade_depth=(
+                    args.admit_degrade_depth
+                    if args.admit_degrade_depth is not None
+                    else AdmissionPolicy.degrade_depth
+                ),
+                min_headroom_s=(
+                    args.admit_headroom
+                    if args.admit_headroom is not None
+                    else AdmissionPolicy.min_headroom_s
+                ),
+            )
+            arrivals = [
+                (request, plans[request.targets]) for request in requests
+            ]
+            report, decisions = admit_and_serve(engine, arrivals, policy)
+        else:
+            for request in requests:
+                engine.submit(request, plans[request.targets])
+            report = engine.run()
     print(report.render())
+    if decisions is not None:
+        print(
+            f"  admission: {decisions['admit']} admitted, "
+            f"{decisions['degrade']} degraded to cache-only, "
+            f"{decisions['reject']} rejected"
+        )
     if args.out:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -517,6 +562,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="shed (instead of degrading) queries whose deadline already "
         "passed when their wave formed",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard the cache and wave execution across N key-hashed "
+        "partitions (0 = unsharded; results are byte-identical either way)",
+    )
+    serve.add_argument(
+        "--shard-processes",
+        action="store_true",
+        help="run shard generation in forked OS processes (falls back to "
+        "in-process threads where fork is unavailable)",
+    )
+    serve.add_argument(
+        "--admit-reject-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission front door: reject (429-style) at this combined "
+        "queue depth; setting any --admit-* flag enables the async "
+        "admission layer",
+    )
+    serve.add_argument(
+        "--admit-degrade-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission front door: admit cache-only (degrade rather than "
+        "buy) at this combined queue depth",
+    )
+    serve.add_argument(
+        "--admit-headroom",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="admission front door: degrade queries whose deadline headroom "
+        "is below this many seconds",
     )
     _add_manifest(serve)
     _add_durability(serve, chaos=True)

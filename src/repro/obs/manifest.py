@@ -38,7 +38,10 @@ from repro.errors import ConfigurationError
 #: v2: serve section renamed ``partial`` -> ``degraded``, added
 #: ``degraded_by_reason``, ``shed_by_reason`` and ``faults`` subsections
 #: for the resilient serving tier.
-SCHEMA_VERSION = 2
+#: v3: added the optional ``serve.shards`` (shard topology and cache
+#: balance) and ``serve.admission`` (front-door decision tally)
+#: subsections for the sharded serving tier with async admission.
+SCHEMA_VERSION = 3
 
 _NUMBER_MAP = {"type": "object", "additionalProperties": {"type": "number"}}
 _INTEGER_MAP = {"type": "object", "additionalProperties": {"type": "integer"}}
@@ -166,6 +169,31 @@ MANIFEST_SCHEMA = {
                 "answers_purchased": {"type": "integer"},
                 "saved_cents": {"type": "number"},
                 "peak_queue_depth": {"type": "integer"},
+                "shards": {
+                    "type": "object",
+                    "required": ["count", "processes", "keys_by_shard"],
+                    "properties": {
+                        "count": {"type": "integer"},
+                        "processes": {"type": "boolean"},
+                        "keys_by_shard": {
+                            "type": "array",
+                            "items": {"type": "integer"},
+                        },
+                        "answers_by_shard": {
+                            "type": "array",
+                            "items": {"type": "integer"},
+                        },
+                    },
+                },
+                "admission": {
+                    "type": "object",
+                    "required": ["admitted", "degraded", "rejected"],
+                    "properties": {
+                        "admitted": {"type": "integer"},
+                        "degraded": {"type": "integer"},
+                        "rejected": {"type": "integer"},
+                    },
+                },
                 "faults": {
                     "type": "object",
                     "required": [
@@ -245,7 +273,7 @@ def serve_from_metrics(metrics) -> dict | None:
     if queries == 0:
         return None
     gauges = metrics.gauges()
-    return {
+    section = {
         "queries": queries,
         "completed": int(metrics.counter("serve.completed")),
         "degraded": int(metrics.counter("serve.degraded")),
@@ -270,6 +298,28 @@ def serve_from_metrics(metrics) -> dict | None:
             "answers_lost": int(metrics.counter("serve.faults.lost")),
         },
     }
+    shard_count = int(gauges.get("serve.shards.count", 0))
+    if shard_count:
+        section["shards"] = {
+            "count": shard_count,
+            "processes": bool(gauges.get("serve.shards.processes", 0)),
+            "keys_by_shard": [
+                int(gauges.get(f"serve.shards.keys.{shard}", 0))
+                for shard in range(shard_count)
+            ],
+            "answers_by_shard": [
+                int(gauges.get(f"serve.shards.answers.{shard}", 0))
+                for shard in range(shard_count)
+            ],
+        }
+    admission = {
+        "admitted": int(metrics.counter("serve.admission.admit")),
+        "degraded": int(metrics.counter("serve.admission.degrade")),
+        "rejected": int(metrics.counter("serve.admission.reject")),
+    }
+    if any(admission.values()):
+        section["admission"] = admission
+    return section
 
 
 def plan_summary(plan) -> dict:

@@ -15,8 +15,21 @@ fault-injectable (:mod:`repro.serve.faults`) and the results
 deadline/budget/fault-aware (:mod:`repro.serve.degrade`): a query the
 engine cannot fully serve comes back ``degraded`` with widened
 intervals and an honest completeness figure, never silently dropped.
+
+The scale-out layer (DESIGN.md §15) shards the cache and wave
+execution across key-hashed partitions — optionally forked OS
+processes — with byte-identical results at any shard count
+(:mod:`repro.serve.shard`), and puts an asyncio admission ladder in
+front of the engine queue (:mod:`repro.serve.admission`): admit,
+degrade to cache-only, or reject by queue depth and deadline headroom.
 """
 
+from repro.serve.admission import (
+    DECISIONS,
+    AdmissionPolicy,
+    AsyncAdmission,
+    admit_and_serve,
+)
 from repro.serve.cache import AnswerCache, CachedAnswerSource, CacheReadSource
 from repro.serve.degrade import (
     DEGRADE_REASONS,
@@ -36,17 +49,27 @@ from repro.serve.report import (
     QueryResult,
     ServeReport,
     load_query_file,
+    saving_percent,
 )
 from repro.serve.scheduler import BoundedScheduler
+from repro.serve.shard import (
+    ShardedAnswerCache,
+    ShardRouter,
+    shard_journal_name,
+    stable_shard,
+)
 from repro.serve.stream import BatchedValueStream, DeterministicValueStream
 
 __all__ = [
+    "DECISIONS",
     "DEGRADE_REASONS",
     "SERVE_CHECKPOINT",
     "SERVE_JOURNAL",
     "SHED_REASONS",
     "STATUSES",
+    "AdmissionPolicy",
     "AnswerCache",
+    "AsyncAdmission",
     "BatchedValueStream",
     "BoundedScheduler",
     "CacheReadSource",
@@ -61,11 +84,17 @@ __all__ = [
     "ResilientValueStream",
     "ServeEngine",
     "ServeReport",
+    "ShardRouter",
+    "ShardedAnswerCache",
     "TermShortfall",
+    "admit_and_serve",
     "evidence_confidence",
     "generate_workload",
     "load_query_file",
     "percentile",
+    "saving_percent",
+    "shard_journal_name",
+    "stable_shard",
     "widened_interval",
     "zipf_weights",
 ]

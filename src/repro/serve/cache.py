@@ -31,7 +31,7 @@ cache exactly and a crashed serving run resumes without re-purchasing.
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Protocol
 
 import numpy as np
 
@@ -45,6 +45,12 @@ CacheKey = tuple[int, str]
 
 _EMPTY = np.empty(0, dtype=np.float64)
 _EMPTY.setflags(write=False)
+
+
+class SupportsAnswerReads(Protocol):
+    """Anything answers can be read from: a flat cache or a sharded one."""
+
+    def answers(self, object_id: int, attribute: str, n: int) -> np.ndarray: ...
 
 
 def _frozen(answers) -> np.ndarray:
@@ -121,12 +127,23 @@ class AnswerCache:
 
     # -- persistence -----------------------------------------------------
 
+    def keys(self) -> list[CacheKey]:
+        """Every cached key, in sorted order (shard-balance statistics)."""
+        return sorted(self._answers)
+
     def snapshot(self) -> dict:
-        """JSON-serialisable copy of every cached answer."""
+        """JSON-serialisable copy of every cached answer.
+
+        Entries come out in sorted key order — not insertion order — so
+        the snapshot's bytes depend only on cache *contents*.  A sharded
+        engine's checkpoint is therefore identical to the unsharded
+        engine's for the same served state, and a checkpoint written at
+        one shard count restores cleanly at any other.
+        """
         return {
             "entries": [
                 {"object": oid, "attribute": attr, "answers": answers.tolist()}
-                for (oid, attr), answers in self._answers.items()
+                for (oid, attr), answers in sorted(self._answers.items())
             ],
             "hits": self.hits,
             "misses": self.misses,
@@ -255,7 +272,7 @@ class CacheReadSource:
     #: and use the batched design-matrix path.
     side_effect_free = True
 
-    def __init__(self, cache: AnswerCache) -> None:
+    def __init__(self, cache: SupportsAnswerReads) -> None:
         self.cache = cache
 
     def fetch(self, object_id: int, attribute: str, n: int) -> np.ndarray:

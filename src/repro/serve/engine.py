@@ -75,8 +75,12 @@ from repro.crowd.faults import FaultProfile, RetryPolicy, SimulatedClock
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.quality import WorkerCircuitBreaker
 from repro.durability.checkpoint import CheckpointStore
-from repro.durability.journal import Journal, replay_journal
-from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.durability.journal import Journal, read_journal
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    JournalCorruptionError,
+)
 from repro.serve.cache import AnswerCache, CacheKey, CacheReadSource
 from repro.serve.degrade import (
     DegradedResult,
@@ -88,6 +92,11 @@ from repro.serve.degrade import (
 from repro.serve.faults import KeyPurchase, ResilientValueStream
 from repro.serve.report import QueryRequest, QueryResult, ServeReport
 from repro.serve.scheduler import BoundedScheduler
+from repro.serve.shard import (
+    ShardedAnswerCache,
+    ShardRouter,
+    shard_journal_name,
+)
 from repro.serve.stream import BatchedValueStream
 
 #: Journal and checkpoint filenames under the engine's checkpoint_dir
@@ -124,6 +133,10 @@ class _Pending:
     admitted_at: float
     #: (object_id, attribute) -> answers this query's plans demand.
     demands: dict[CacheKey, int] = field(default_factory=dict)
+    #: Admitted under backpressure as cache-only: the query contributes
+    #: no purchase demand and is served from whatever the cache holds;
+    #: any shortfall degrades with reason ``"admission"``.
+    cache_only: bool = False
     #: Filled during the wave: accounting first, then evaluation.
     result: QueryResult | None = None
     #: Degradation reasons the accounting phase established ("budget" /
@@ -203,6 +216,8 @@ class ServeEngine:
         fault_seed: int | None = None,
         chaos=None,
         shed_expired: bool = False,
+        shards: int = 0,
+        shard_processes: bool = False,
     ) -> None:
         if max_queue < 1:
             raise ConfigurationError(
@@ -213,6 +228,10 @@ class ServeEngine:
             raise ConfigurationError(f"wave_size must be positive, got {wave_size}")
         if resume and checkpoint_dir is None:
             raise ConfigurationError("resume requires a checkpoint_dir")
+        if shards < 0:
+            raise ConfigurationError(f"shards must be >= 0, got {shards}")
+        if shard_processes and not shards:
+            raise ConfigurationError("shard_processes requires shards >= 1")
         self.platform = platform
         self.obs = platform.obs
         self.scheduler = BoundedScheduler(workers)
@@ -223,7 +242,6 @@ class ServeEngine:
         # generate through answers_many / purchase_batch and fall back
         # to the scalar path lane by lane where the kernels reject.
         self.stream = BatchedValueStream(platform, seed)
-        self.cache = AnswerCache()
         self._clock = clock
         self.shed_expired = shed_expired
         self.chaos = chaos
@@ -242,6 +260,26 @@ class ServeEngine:
             if self.breaker is None:
                 self.breaker = WorkerCircuitBreaker()
             self.breaker.metrics = self.obs.metrics
+        # Sharded execution: the router owns per-shard streams (and
+        # fault streams) over the *same* seeds as the flat engine; the
+        # cache becomes a partitioned view with a flat snapshot.  Every
+        # coordinate stream is pure, so sharding is invisible to the
+        # report, spend and journal contents (DESIGN.md §15).
+        self.router: ShardRouter | None = None
+        self.cache: AnswerCache | ShardedAnswerCache
+        if shards:
+            self.router = ShardRouter(
+                platform,
+                shards,
+                self.stream.seed,
+                processes=shard_processes,
+                faults=faults,
+                retry=retry,
+                fault_seed=fault_seed,
+            )
+            self.cache = ShardedAnswerCache(shards, self.router.shard_of)
+        else:
+            self.cache = AnswerCache()
         #: Per-key lost-answer counts: the value stream's cursor for a
         #: key is ``cache count + lost`` (lost indices were consumed by
         #: exhausted retries and must never be re-drawn).
@@ -260,15 +298,25 @@ class ServeEngine:
         #: (re-charged so the ledger matches the crashed run).
         self.restored_answers = 0
         self.journal: Journal | None = None
+        self._shard_journals: list[Journal] = []
         self.checkpoints: CheckpointStore | None = None
         if checkpoint_dir is not None:
             directory = Path(checkpoint_dir)
             self.checkpoints = CheckpointStore(directory, SERVE_CHECKPOINT)
             if resume:
                 self._restore(directory)
-            self.journal = Journal(directory / SERVE_JOURNAL)
-            if resume:
-                self._merge_journal_tail()
+                # Merge *every* serve journal present — flat and
+                # per-shard — before opening this topology's own
+                # files, so a run can resume a crash that happened
+                # under a different shard count.
+                self._merge_journal_tail(directory)
+            if self.router is not None:
+                self._shard_journals = [
+                    Journal(directory / shard_journal_name(shard))
+                    for shard in range(self.router.n_shards)
+                ]
+            else:
+                self.journal = Journal(directory / SERVE_JOURNAL)
 
     # -- durability ------------------------------------------------------
 
@@ -279,7 +327,14 @@ class ServeEngine:
             return
         payload = self.checkpoints.load()
         self.platform.restore_state(payload["platform"])
-        self.cache = AnswerCache.from_snapshot(payload["cache"])
+        if self.router is not None:
+            # Snapshots are flat and sorted, so a checkpoint written at
+            # any shard count (including unsharded) re-partitions here.
+            self.cache = ShardedAnswerCache.from_snapshot(
+                payload["cache"], self.router.n_shards, self.router.shard_of
+            )
+        else:
+            self.cache = AnswerCache.from_snapshot(payload["cache"])
         faults = payload.get("faults")
         if faults is not None:
             self.fault_clock.restore_state(faults["clock"])
@@ -300,23 +355,57 @@ class ServeEngine:
             cached_answers=self.cache.total_answers,
         )
 
-    def _merge_journal_tail(self) -> None:
+    def _journal_paths(self, directory: Path) -> list[Path]:
+        """Every serve journal file present, flat first then by shard."""
+        paths = [directory / SERVE_JOURNAL]
+        paths.extend(sorted(directory.glob("serve.shard*.journal.jsonl")))
+        return [path for path in paths if path.exists()]
+
+    def _merge_journal_tail(self, directory: Path) -> None:
         """Fold journaled answers beyond the checkpoint into the cache.
 
-        Answers are journaled write-ahead, so after a crash the journal
+        Answers are journaled write-ahead, so after a crash the journals
         may run ahead of the last checkpoint.  Those answers were paid
         for by the crashed run; re-charging them here (count × price,
         deterministic) makes the restored ledger and budget match the
         crashed run exactly, and the warm cache means they are never
         re-purchased.
+
+        The merge reads *every* serve journal in the directory — the
+        flat ``serve.journal.jsonl`` and any per-shard files — into one
+        per-key index→answer map, then applies keys in sorted order
+        (the same order the commit phase charges in).  Shards partition
+        the key space, so the per-shard files never conflict; a
+        topology change between runs only splits one key's contiguous
+        index range across files, and the merged map heals the split.
         """
-        assert self.journal is not None
-        replay = replay_journal(self.journal.path)
+        values: dict[CacheKey, dict[int, float]] = {}
+        lost_totals: dict[CacheKey, int] = {}
+        for path in self._journal_paths(directory):
+            for record in read_journal(path):
+                kind = record.get("kind")
+                if kind == "value":
+                    key = (int(record["object"]), str(record["attribute"]))
+                    index = int(record["index"])
+                    answer = float(record["answer"])
+                    tape = values.setdefault(key, {})
+                    if index in tape and tape[index] != answer:
+                        raise JournalCorruptionError(
+                            f"serve journals disagree on {key!r}[{index}]"
+                        )
+                    tape[index] = answer
+                elif kind == "lost":
+                    key = (int(record["object"]), str(record["attribute"]))
+                    lost_totals[key] = lost_totals.get(key, 0) + int(record["count"])
         restored = 0
-        for entry in replay.recorder.to_dict()["values"]:
-            object_id = int(entry["object"])
-            attribute = str(entry["attribute"])
-            tape = [float(answer) for answer in entry["answers"]]
+        for key in sorted(values):
+            indexed = values[key]
+            if sorted(indexed) != list(range(len(indexed))):
+                raise JournalCorruptionError(
+                    f"serve journals leave a gap in the tape for {key!r}"
+                )
+            tape = [indexed[index] for index in range(len(indexed))]
+            object_id, attribute = key
             have = self.cache.count(object_id, attribute)
             if len(tape) <= have:
                 continue
@@ -326,7 +415,7 @@ class ServeEngine:
         # Lost-answer records are cursor advances, not purchases: the
         # journal's totals supersede the (older or equal) checkpoint's,
         # so a resumed stream continues past indices retries consumed.
-        for key, count in replay.lost.items():
+        for key, count in lost_totals.items():
             if count > self._lost.get(key, 0):
                 self._lost[key] = count
         self.restored_answers = restored
@@ -357,9 +446,13 @@ class ServeEngine:
         self.checkpoints.save(payload)
 
     def close(self) -> None:
-        """Flush and close the journal (if durability is on) and join workers."""
+        """Flush and close journals, join workers, stop shard processes."""
         if self.journal is not None:
             self.journal.close()
+        for journal in self._shard_journals:
+            journal.close()
+        if self.router is not None:
+            self.router.close()
         self.scheduler.close()
 
     def __enter__(self) -> "ServeEngine":
@@ -375,16 +468,52 @@ class ServeEngine:
         """Queries admitted and not yet served."""
         return len(self._queue)
 
+    def reject(self, request: QueryRequest) -> QueryResult:
+        """Refuse one query at the front door (429-style), costing nothing.
+
+        The admission layer calls this when its backpressure ladder
+        says the query should not even enter the engine queue.  The
+        query still gets a :class:`QueryResult` (``shed``/``rejected``)
+        in the report — never a silent drop.
+        """
+        if request.query_id in self._seen_ids:
+            raise ConfigurationError(
+                f"duplicate query id {request.query_id!r} submitted"
+            )
+        self._seen_ids.add(request.query_id)
+        result = QueryResult(
+            query_id=request.query_id, status="shed", shed_reason="rejected"
+        )
+        self._results.append(result)
+        metrics = self.obs.metrics
+        metrics.inc("serve.queries")
+        metrics.inc("serve.shed")
+        metrics.inc("serve.shed.rejected")
+        self.obs.tracer.event(
+            "serve.shed",
+            query=request.query_id,
+            reason="rejected",
+            depth=len(self._queue),
+        )
+        return result
+
     def submit(
         self,
         request: QueryRequest,
         plans: PreprocessingPlan | Sequence[PreprocessingPlan],
+        cache_only: bool = False,
     ) -> bool:
         """Admit one query (with its preprocessing plans) for serving.
 
         Returns ``True`` when admitted (or already finished in a
         restored checkpoint), ``False`` when shed by backpressure.
         Shed queries still get a :class:`QueryResult` in the report.
+
+        With ``cache_only=True`` (the admission layer's shed-with-
+        degrade rung) the query contributes no purchase demand: it is
+        served from whatever the shared cache holds when its wave
+        runs, and any term the cache cannot fully cover degrades with
+        reason ``"admission"``.
         """
         if isinstance(plans, PreprocessingPlan):
             plans = [plans]
@@ -427,7 +556,12 @@ class ServeEngine:
                 depth=len(self._queue),
             )
             return False
-        pending = _Pending(request=request, plans=plans, admitted_at=self._clock())
+        pending = _Pending(
+            request=request,
+            plans=plans,
+            admitted_at=self._clock(),
+            cache_only=cache_only,
+        )
         for plan in pending.plans:
             for attribute in plan.budget.attributes:
                 count = plan.budget[attribute]
@@ -466,7 +600,28 @@ class ServeEngine:
             workers=self.scheduler.workers,
         )
         self.obs.metrics.gauge("serve.peak_queue_depth", self._peak_queue)
+        if self.router is not None:
+            # Shard topology and balance go to metrics (and from there
+            # the manifest's ``serve.shards`` section) — never into the
+            # report, which must stay byte-identical to the unsharded
+            # engine's.
+            metrics = self.obs.metrics
+            metrics.gauge("serve.shards.count", self.router.n_shards)
+            metrics.gauge("serve.shards.processes", int(self.router.process_mode))
+            cache = self.cache
+            if isinstance(cache, ShardedAnswerCache):
+                for shard, keys in enumerate(cache.keys_by_shard()):
+                    metrics.gauge(f"serve.shards.keys.{shard}", keys)
+                for shard, answers in enumerate(cache.answers_by_shard()):
+                    metrics.gauge(f"serve.shards.answers.{shard}", answers)
         return report
+
+    def _journal_for(self, key: CacheKey) -> Journal | None:
+        """The journal owning one key: the shard's file, or the flat one."""
+        if self._shard_journals:
+            assert self.router is not None
+            return self._shard_journals[self.router.shard_of_key(key)]
+        return self.journal
 
     def _price(self, attribute: str) -> float:
         price = self._price_of.get(attribute)
@@ -530,12 +685,19 @@ class ServeEngine:
 
         # Phase 1 (serial): per-key wave demand = max over queries, and
         # the pre-wave cache level each shortfall purchase starts from.
+        # Cache-only admissions contribute *no* purchase demand — they
+        # read, they never buy — but their keys still need pre-counts
+        # for the accounting replay below.
         demands: dict[CacheKey, int] = {}
+        all_keys: set[CacheKey] = set()
         for pending in wave:
+            all_keys.update(pending.demands)
+            if pending.cache_only:
+                continue
             for key, count in pending.demands.items():
                 demands[key] = max(demands.get(key, 0), count)
         pre_counts = {
-            key: self.cache.count(key[0], key[1]) for key in demands
+            key: self.cache.count(key[0], key[1]) for key in all_keys
         }
         shortfalls = [
             (key, pre_counts[key], demands[key] - pre_counts[key])
@@ -554,6 +716,7 @@ class ServeEngine:
         independent = sum(
             max(0, count - pre_counts[key])
             for pending in wave
+            if not pending.cache_only
             for key, count in pending.demands.items()
         )
         fresh_total = sum(n for _, _, n in shortfalls)
@@ -568,28 +731,19 @@ class ServeEngine:
         with self.obs.tracer.span(
             "serve.purchase", keys=len(shortfalls), answers=fresh_total
         ):
-            # Keys are chunked per worker (not one task per key): the
-            # per-task overhead of a thread-pool submission exceeds the
-            # per-key work, and the batched kernels amortize best over
-            # large contiguous request lists.  Chunking cannot affect
-            # results — every lane's draws come only from its own
-            # coordinate stream.
+            # Keys are chunked per *effective* worker (not one task per
+            # key, and never wider than the clamped pool): the per-task
+            # overhead of a thread-pool submission exceeds the per-key
+            # work, and the batched kernels amortize best over large
+            # contiguous request lists.  Chunking cannot affect results
+            # — every lane's draws come only from its own coordinate
+            # stream.
             if self.resilient is None:
-                stream = self.stream
                 requests = [
                     (key[0], key[1], start, count)
                     for key, start, count in shortfalls
                 ]
-                generated = [
-                    answers
-                    for batch in self.scheduler.run(
-                        stream.answers_many,
-                        _chunked(requests, self.scheduler.workers),
-                    )
-                    for answers in batch
-                ]
             else:
-                resilient = self.resilient
                 lost_before = self._lost
                 requests = [
                     (
@@ -600,11 +754,33 @@ class ServeEngine:
                     )
                     for key, start, count in shortfalls
                 ]
+            if self.router is not None:
+                # Sharded: each shard generates its own keys (threads
+                # or forked processes); reassembly is in request order,
+                # so the serial commit below is oblivious to sharding.
+                generated = self.router.generate(
+                    requests,
+                    self.scheduler,
+                    blocked=blocked,
+                    faulted=self.resilient is not None,
+                )
+            elif self.resilient is None:
+                stream = self.stream
+                generated = [
+                    answers
+                    for batch in self.scheduler.run(
+                        stream.answers_many,
+                        _chunked(requests, self.scheduler.effective_workers),
+                    )
+                    for answers in batch
+                ]
+            else:
+                resilient = self.resilient
                 generated = [
                     purchase
                     for batch in self.scheduler.run(
                         lambda chunk: resilient.purchase_batch(chunk, blocked),
-                        _chunked(requests, self.scheduler.workers),
+                        _chunked(requests, self.scheduler.effective_workers),
                     )
                     for purchase in batch
                 ]
@@ -639,13 +815,14 @@ class ServeEngine:
                         answers=obtained,
                     )
                     continue
-                if self.journal is not None:
+                journal = self._journal_for(key)
+                if journal is not None:
                     for offset, answer in enumerate(answers):
-                        self.journal.record_answer("value", key, start + offset, answer)
+                        journal.record_answer("value", key, start + offset, answer)
                     if purchase is not None and purchase.lost:
                         # Journaled as a delta; replay sums deltas into
                         # the key's total cursor advance.
-                        self.journal.record_lost(key, purchase.lost)
+                        journal.record_lost(key, purchase.lost)
                 if purchase is not None:
                     self._replay_purchase(key, purchase)
                 if obtained:
@@ -675,13 +852,28 @@ class ServeEngine:
                 object_id, attribute = key
                 available = self.cache.count(object_id, attribute)
                 seen = virtual[key]
-                hits = min(seen, count)
-                fresh = max(0, min(count, available) - seen)
-                served = min(count, available)
+                if pending.cache_only:
+                    # A cache-only admission reads whatever the wave's
+                    # cache holds and pays for none of it: every answer
+                    # it uses counts as a hit (an answer it would have
+                    # bought stand-alone), the purchasing queries keep
+                    # their own fresh attribution (``virtual`` is left
+                    # untouched), and any deficit is an *admission*
+                    # shortfall — a decision, not money or faults.
+                    hits = min(count, available)
+                    fresh = 0
+                    served = hits
+                else:
+                    hits = min(seen, count)
+                    fresh = max(0, min(count, available) - seen)
+                    served = min(count, available)
                 pending.answers_demanded += count
                 pending.answers_served += served
                 if count > available:
-                    pending.reasons.add("budget" if key in unfunded else "faults")
+                    if pending.cache_only:
+                        pending.reasons.add("admission")
+                    else:
+                        pending.reasons.add("budget" if key in unfunded else "faults")
                     pending.shortfalls.append(
                         TermShortfall(
                             object_id=object_id,
@@ -701,7 +893,8 @@ class ServeEngine:
                 if fresh:
                     result.fresh_answers += fresh
                     result.spent_cents += fresh * self._price(attribute)
-                virtual[key] = max(seen, min(count, available))
+                if not pending.cache_only:
+                    virtual[key] = max(seen, min(count, available))
             pending.result = result
 
         # Phase 4b (parallel, read-only): evaluate every query over the

@@ -18,9 +18,11 @@ evaluate, and an optional deadline.  Each produces a
 ``shed``
     The query was refused outright and cost nothing; ``shed_reason``
     distinguishes backpressure (``"overflow"`` — the queue was full at
-    admission) from expiry (``"deadline"`` — the deadline had already
+    admission), expiry (``"deadline"`` — the deadline had already
     passed when its wave formed, and the engine was configured to shed
-    rather than degrade such queries).
+    rather than degrade such queries), and the async front door's
+    429-style refusal (``"rejected"`` — the admission layer turned the
+    query away before it ever reached the engine queue).
 
 A :class:`ServeReport` aggregates one :meth:`~repro.serve.engine.
 ServeEngine.run` call: all results plus the cache/batching economics
@@ -51,7 +53,37 @@ PREDICATE_OPS = {
 STATUSES = ("completed", "degraded", "shed")
 
 #: Legal values of :attr:`QueryResult.shed_reason`.
-SHED_REASONS = ("overflow", "deadline")
+SHED_REASONS = ("overflow", "deadline", "rejected")
+
+#: Tolerance under which a measured saving is considered exactly zero.
+#: Savings are differences of independently summed float spend totals,
+#: so a zero-overlap run can land a hair *below* zero (the committed
+#: BENCH_serve.json once recorded ``-1.1e-13``); reporting that as a
+#: negative saving is noise, not signal.
+SAVING_EPSILON = 1e-9
+
+
+def saving_percent(
+    baseline_cents: float,
+    actual_cents: float,
+    tolerance: float = SAVING_EPSILON,
+) -> float:
+    """Spend saved vs. a baseline, as a percentage, clamped at zero.
+
+    ``100 * (1 - actual/baseline)``, floored at ``0.0``: the engine
+    structurally cannot spend *more* than the independent baseline (it
+    buys at most each key's maximum demand once), so any negative value
+    is float noise from differencing independently summed spend totals
+    — a zero-overlap run once recorded ``-1.1e-13``.  ``tolerance``
+    additionally snaps near-zero positives to exactly ``0.0`` so report
+    consumers can compare against zero without their own epsilon.
+    """
+    if baseline_cents <= 0:
+        return 0.0
+    saving = 100.0 * (1.0 - actual_cents / baseline_cents)
+    if saving <= tolerance:
+        return 0.0
+    return saving
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,17 @@ on thread scheduling.  With one worker it skips the executor entirely
 and runs serially — the ``--workers 1`` reference execution any
 concurrent run must byte-match.
 
+The *effective* pool width is clamped to the host's CPU count.  The
+engine's parallel phases are numpy-bound pure python: threads beyond
+the core count add GIL contention and splinter the batched kernels
+into smaller, worse-amortized chunks without any work happening
+concurrently.  On a single-core host this made ``--workers 4`` run the
+purchase phase ~4.7x *slower* than ``--workers 1`` (BENCH_serve.json,
+PR 7: 0.0219 s vs 0.0047 s; 79 qps vs 264 qps end to end).  Clamping
+cannot change results — the engine only schedules pure per-key work
+here — so ``workers`` stays the *requested* width for reporting while
+``effective_workers`` is what actually runs.
+
 The engine only ever hands the scheduler *pure* work (answer
 generation from per-key RNG streams, read-only evaluation over a
 frozen cache); everything stateful — charging the ledger, journaling,
@@ -18,6 +29,7 @@ side-effecting phases are single-threaded in sorted key order.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -25,6 +37,10 @@ from repro.errors import ConfigurationError
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+#: Thread-name prefix for pool threads, so shutdown tests (and humans
+#: reading thread dumps) can attribute them to the serving scheduler.
+POOL_THREAD_PREFIX = "serve-sched"
 
 
 class BoundedScheduler:
@@ -35,15 +51,28 @@ class BoundedScheduler:
     more than a wave's worth of work once generation was vectorized.
     Call :meth:`close` (the engine does) to join the threads; an
     unclosed pool is still joined at interpreter exit by the executor's
-    own atexit hook.
+    own atexit hook, but holds its threads alive until then.
+
+    Parameters
+    ----------
+    workers:
+        Requested concurrency (reported by the engine).
+    max_width:
+        Cap on the effective pool width; defaults to ``os.cpu_count()``.
+        Effective width is ``min(workers, max_width)`` — oversubscribing
+        cores only adds GIL contention on the numpy-bound pure phases.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, max_width: int | None = None) -> None:
         if workers < 1:
             raise ConfigurationError(
                 f"the scheduler needs at least one worker, got {workers}"
             )
+        if max_width is not None and max_width < 1:
+            raise ConfigurationError(f"max_width must be positive, got {max_width}")
         self.workers = int(workers)
+        width = max_width if max_width is not None else (os.cpu_count() or 1)
+        self.effective_workers = max(1, min(self.workers, int(width)))
         self._pool: ThreadPoolExecutor | None = None
 
     def run(
@@ -59,11 +88,19 @@ class BoundedScheduler:
         only schedules non-raising work here.
         """
         sequence: Sequence[ItemT] = list(items)
-        if self.workers == 1 or len(sequence) <= 1:
+        if self.effective_workers == 1 or len(sequence) <= 1:
             return [fn(item) for item in sequence]
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.effective_workers,
+                thread_name_prefix=POOL_THREAD_PREFIX,
+            )
         return list(self._pool.map(fn, sequence))
+
+    @property
+    def pool_live(self) -> bool:
+        """Whether a thread pool currently exists (for shutdown tests)."""
+        return self._pool is not None
 
     def close(self) -> None:
         """Shut down the pool (idempotent; a later ``run`` re-creates it)."""

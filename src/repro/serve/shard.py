@@ -1,0 +1,396 @@
+"""Cross-process sharding of the serving tier's cache and wave execution.
+
+The serving engine's wave phases split cleanly into pure generation and
+serial side effects (DESIGN.md §12).  Sharding exploits that split: the
+:class:`ShardRouter` hashes every ``(object, canonical-attribute)`` key
+to one of ``N`` shards, and each shard owns its slice end to end — an
+:class:`~repro.serve.cache.AnswerCache` partition (via
+:class:`ShardedAnswerCache`), its own
+:class:`~repro.serve.stream.BatchedValueStream` (and, under fault
+injection, :class:`~repro.serve.faults.ResilientValueStream`), its own
+write-ahead journal file, and the generation work for its keys each
+wave.
+
+Because :class:`~repro.serve.stream.DeterministicValueStream` makes
+every answer a pure function of ``(seed, object, crc32(attr), index)``
+— and every faulted purchase a pure function of those coordinates plus
+the attempt number and the frozen quarantine snapshot — shards need
+**no coordination** to agree: any partitioning of the key space
+produces byte-identical answers.  The engine's commit phase (charge,
+journal, cache insert) stays serial in sorted key order exactly like
+the unsharded engine, which *is* the deterministic merge: ``shards=1``
+is byte-identical to the unsharded engine, and any two shard counts
+produce identical reports, spend and checkpoints (DESIGN.md §15).
+
+Shard placement is ``crc32``-stable (never ``hash()``, which is salted
+per process), and attributes are resolved to their canonical name
+before hashing so synonym surface forms land on the same shard as the
+cache key they alias.
+
+Execution modes
+---------------
+
+``processes=False`` (inline, the default)
+    Shards are in-process partitions; per-shard generation fans out
+    over the engine's thread scheduler.  Cheap, fully deterministic,
+    and the mode CI exercises.
+``processes=True``
+    Generation runs in a pool of OS processes (one per shard, capped at
+    the core count) created with the ``fork`` start method: children
+    inherit the parent's shard streams through module globals, so
+    nothing but the per-wave request chunks and the returned answer
+    arrays ever crosses a process boundary.  Platforms without
+    ``fork`` fall back to inline execution (recorded on the router).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.crowd.faults import FaultProfile, RetryPolicy
+from repro.errors import ConfigurationError
+from repro.serve.cache import AnswerCache, CacheKey
+from repro.serve.faults import KeyPurchase, ResilientValueStream
+from repro.serve.stream import BatchedValueStream
+
+if TYPE_CHECKING:
+    from repro.crowd.platform import CrowdPlatform
+    from repro.serve.scheduler import BoundedScheduler
+
+#: One generation request: ``(object_id, attribute, start, count)``.
+ShardRequest = tuple[int, str, int, int]
+
+#: Journal filename for one shard under the engine's checkpoint_dir.
+SHARD_JOURNAL_TEMPLATE = "serve.shard{shard:02d}.journal.jsonl"
+
+
+def shard_journal_name(shard: int) -> str:
+    """The journal filename owned by shard ``shard``."""
+    return SHARD_JOURNAL_TEMPLATE.format(shard=shard)
+
+
+def stable_shard(object_id: int, attr_key: int, n_shards: int) -> int:
+    """Shard index for one key: process-stable, uniform-ish, cheap.
+
+    ``attr_key`` is the canonical attribute's ``crc32`` (the same
+    32-bit key the value stream folds into its RNG coordinates), so the
+    placement is a pure function of the cache key — any two processes,
+    runs or python versions agree.  The object id is mixed in through a
+    second ``crc32`` over the packed pair rather than a bare modulus so
+    consecutive object ids spread across shards instead of striping.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {n_shards}")
+    if n_shards == 1:
+        return 0
+    packed = int(object_id).to_bytes(8, "little", signed=True)
+    packed += int(attr_key).to_bytes(4, "little")
+    return zlib.crc32(packed) % n_shards
+
+
+class ShardedAnswerCache:
+    """An :class:`AnswerCache` split into per-shard partitions.
+
+    Same interface as the flat cache (the engine and
+    :class:`~repro.serve.cache.CacheReadSource` cannot tell them
+    apart); every key operation routes to the owning partition through
+    the router's placement function.  Hit/miss accounting stays
+    aggregate — the economics of reuse are engine-level, not
+    shard-level.  Snapshots are flat and sorted (identical to the
+    unsharded cache's for the same contents), so checkpoints restore
+    across *different* shard counts: partitioning is an execution
+    detail, never persisted state.
+    """
+
+    def __init__(self, n_shards: int, shard_of: Callable[[int, str], int]) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {n_shards}")
+        self.partitions = [AnswerCache() for _ in range(n_shards)]
+        self._shard_of = shard_of
+        self.hits = 0
+        self.misses = 0
+
+    def _partition(self, object_id: int, attribute: str) -> AnswerCache:
+        return self.partitions[self._shard_of(object_id, attribute)]
+
+    def __len__(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    @property
+    def total_answers(self) -> int:
+        """Total purchased answers held across all partitions."""
+        return sum(partition.total_answers for partition in self.partitions)
+
+    def count(self, object_id: int, attribute: str) -> int:
+        return self._partition(object_id, attribute).count(object_id, attribute)
+
+    def answers(self, object_id: int, attribute: str, n: int) -> np.ndarray:
+        return self._partition(object_id, attribute).answers(object_id, attribute, n)
+
+    def shortfall(self, object_id: int, attribute: str, n: int) -> int:
+        return max(0, n - self.count(object_id, attribute))
+
+    def add(self, object_id: int, attribute: str, answers) -> int:
+        return self._partition(object_id, attribute).add(object_id, attribute, answers)
+
+    def note_hits(self, count: int) -> None:
+        self.hits += count
+
+    def note_misses(self, count: int) -> None:
+        self.misses += count
+
+    def keys_by_shard(self) -> list[int]:
+        """Cached key count per shard (balance statistics)."""
+        return [len(partition) for partition in self.partitions]
+
+    def answers_by_shard(self) -> list[int]:
+        """Cached answer count per shard (balance statistics)."""
+        return [partition.total_answers for partition in self.partitions]
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Flat, sorted snapshot — byte-identical to the unsharded cache's."""
+        entries = []
+        for partition in self.partitions:
+            entries.extend(partition.snapshot()["entries"])
+        entries.sort(key=lambda entry: (entry["object"], entry["attribute"]))
+        return {"entries": entries, "hits": self.hits, "misses": self.misses}
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        payload: dict,
+        n_shards: int,
+        shard_of: Callable[[int, str], int],
+    ) -> "ShardedAnswerCache":
+        """Restore a flat snapshot, re-partitioning under ``shard_of``.
+
+        The snapshot may come from the unsharded engine or from a run
+        with a different shard count — placement is recomputed, so the
+        restored state is identical either way.
+        """
+        cache = cls(n_shards, shard_of)
+        for entry in payload.get("entries", []):
+            cache.add(
+                int(entry["object"]),
+                str(entry["attribute"]),
+                entry["answers"],
+            )
+        cache.hits = int(payload.get("hits", 0))
+        cache.misses = int(payload.get("misses", 0))
+        return cache
+
+
+# -- fork-inherited worker state ------------------------------------------
+#
+# The process pool uses the ``fork`` start method, so children inherit
+# these module globals from the parent at fork time.  Nothing here is
+# ever pickled; the parent assigns them immediately before creating the
+# pool and clears them right after (workers are spawned eagerly).
+
+_FORK_STREAMS: list[BatchedValueStream] | None = None
+_FORK_RESILIENT: list[ResilientValueStream] | None = None
+
+
+def _shard_generate(
+    args: tuple[int, bool, list[ShardRequest], frozenset[int]],
+) -> list[np.ndarray] | list[KeyPurchase]:
+    """Worker task: one shard's generation for one wave (pure)."""
+    shard_id, faulted, requests, blocked = args
+    if faulted:
+        assert _FORK_RESILIENT is not None
+        return _FORK_RESILIENT[shard_id].purchase_batch(requests, blocked)
+    assert _FORK_STREAMS is not None
+    return _FORK_STREAMS[shard_id].answers_many(requests)
+
+
+@dataclass
+class ShardStats:
+    """Running per-shard workload counters (for metrics/manifest)."""
+
+    keys: list[int] = field(default_factory=list)
+    answers: list[int] = field(default_factory=list)
+
+
+class ShardRouter:
+    """Key placement plus per-shard wave execution.
+
+    Parameters
+    ----------
+    platform:
+        Supplies the domain, worker population and canonical attribute
+        resolution every shard stream shares.
+    n_shards:
+        Partition count (>= 1).
+    seed:
+        Answer-stream seed (the engine's).
+    processes:
+        Run shard generation in forked OS processes.  Falls back to
+        inline execution when the ``fork`` start method is unavailable;
+        :attr:`process_mode` records what actually runs.
+    faults / retry / fault_seed:
+        When ``faults`` is enabled, each shard owns a
+        :class:`ResilientValueStream` over the same coordinates the
+        unsharded engine would use, so faulted runs are deterministic
+        at any shard count.
+    """
+
+    def __init__(
+        self,
+        platform: "CrowdPlatform",
+        n_shards: int,
+        seed: int | None = None,
+        *,
+        processes: bool = False,
+        faults: FaultProfile | None = None,
+        retry: RetryPolicy | None = None,
+        fault_seed: int | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.streams = [
+            BatchedValueStream(platform, seed) for _ in range(self.n_shards)
+        ]
+        self.resilient: list[ResilientValueStream] | None = None
+        if faults is not None and faults.enabled:
+            if fault_seed is None:
+                raise ConfigurationError(
+                    "a fault-injected shard router needs an explicit fault_seed"
+                )
+            self.resilient = [
+                ResilientValueStream(
+                    stream, faults, retry or RetryPolicy(), fault_seed
+                )
+                for stream in self.streams
+            ]
+        self.process_mode = bool(processes)
+        if self.process_mode and "fork" not in multiprocessing.get_all_start_methods():
+            # No fork, no cheap state inheritance: degrade to inline
+            # rather than pickling whole platforms per wave.
+            self.process_mode = False
+        self._pool: ProcessPoolExecutor | None = None
+        self.stats = ShardStats(keys=[0] * self.n_shards, answers=[0] * self.n_shards)
+
+    # -- placement -------------------------------------------------------
+
+    def shard_of(self, object_id: int, attribute: str) -> int:
+        """The shard owning one key (canonical-attribute stable)."""
+        _, attr_key = self.streams[0].resolve(attribute)
+        return stable_shard(object_id, attr_key, self.n_shards)
+
+    def shard_of_key(self, key: CacheKey) -> int:
+        return self.shard_of(key[0], key[1])
+
+    def partition(
+        self, requests: Sequence[ShardRequest]
+    ) -> list[tuple[int, list[int]]]:
+        """``(shard_id, request positions)`` per non-empty shard.
+
+        Shards appear in ascending id order; a shard no key hashes to
+        simply does not appear (the empty-shard case costs nothing).
+        """
+        positions: dict[int, list[int]] = {}
+        for index, (object_id, attribute, _, _) in enumerate(requests):
+            positions.setdefault(self.shard_of(object_id, attribute), []).append(index)
+        return sorted(positions.items())
+
+    # -- execution -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        global _FORK_STREAMS, _FORK_RESILIENT
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            width = max(1, min(self.n_shards, context.cpu_count() or 1))
+            _FORK_STREAMS = self.streams
+            _FORK_RESILIENT = self.resilient
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=width, mp_context=context
+                )
+                # Fork the workers eagerly while the globals are live.
+                list(self._pool.map(int, range(width)))
+            finally:
+                _FORK_STREAMS = None
+                _FORK_RESILIENT = None
+        return self._pool
+
+    def generate(
+        self,
+        requests: Sequence[ShardRequest],
+        scheduler: "BoundedScheduler",
+        *,
+        blocked: frozenset[int] = frozenset(),
+        faulted: bool = False,
+    ) -> list:
+        """Per-shard generation for one wave, reassembled in request order.
+
+        Pure: every returned answer (or :class:`KeyPurchase` log, when
+        faulted) is exactly what the unsharded engine would have
+        produced for the same request, so the caller's serial commit
+        phase proceeds identically.
+        """
+        if faulted and self.resilient is None:
+            raise ConfigurationError(
+                "faulted generation requested but the router has no fault "
+                "streams (construct it with a fault profile)"
+            )
+        parts = self.partition(requests)
+        for shard_id, positions in parts:
+            self.stats.keys[shard_id] += len(positions)
+            self.stats.answers[shard_id] += sum(
+                requests[index][3] for index in positions
+            )
+        tasks = [
+            (
+                shard_id,
+                faulted,
+                [requests[index] for index in positions],
+                blocked,
+            )
+            for shard_id, positions in parts
+        ]
+        if self.process_mode and tasks:
+            pool = self._ensure_pool()
+            produced = list(pool.map(_shard_generate, tasks))
+        else:
+
+            def run_inline(task):
+                shard_id, task_faulted, chunk, task_blocked = task
+                if task_faulted:
+                    assert self.resilient is not None
+                    return self.resilient[shard_id].purchase_batch(chunk, task_blocked)
+                return self.streams[shard_id].answers_many(chunk)
+
+            produced = scheduler.run(run_inline, tasks)
+        out: list = [None] * len(requests)
+        for (_, positions), chunk_results in zip(parts, produced):
+            for index, result in zip(positions, chunk_results):
+                out[index] = result
+        return out
+
+    def wave_counts(
+        self, requests: Sequence[ShardRequest]
+    ) -> list[tuple[int, int, int]]:
+        """``(shard_id, keys, answers)`` for one wave's requests."""
+        return [
+            (
+                shard_id,
+                len(positions),
+                sum(requests[index][3] for index in positions),
+            )
+            for shard_id, positions in self.partition(requests)
+        ]
+
+    def close(self) -> None:
+        """Shut down the process pool, if one was created (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -58,6 +58,42 @@ class TestBoundedScheduler:
         with pytest.raises(ConfigurationError):
             BoundedScheduler(workers=0)
 
+    def test_effective_width_clamped_to_max_width(self):
+        scheduler = BoundedScheduler(workers=8, max_width=2)
+        assert scheduler.workers == 8  # requested width is what's reported
+        assert scheduler.effective_workers == 2
+        with pytest.raises(ConfigurationError):
+            BoundedScheduler(workers=2, max_width=0)
+
+    def test_effective_width_clamped_to_cpu_count(self, monkeypatch):
+        # The PR-7 regression: on a single-core host, 4 threads over
+        # numpy-bound pure work ran ~4.7x slower than 1.  The clamp
+        # makes oversubscription structurally impossible.
+        import repro.serve.scheduler as scheduler_module
+
+        monkeypatch.setattr(scheduler_module.os, "cpu_count", lambda: 2)
+        assert BoundedScheduler(workers=16).effective_workers == 2
+        monkeypatch.setattr(scheduler_module.os, "cpu_count", lambda: None)
+        assert BoundedScheduler(workers=16).effective_workers == 1
+
+    def test_close_joins_pool_threads(self):
+        import threading
+
+        from repro.serve.scheduler import POOL_THREAD_PREFIX
+
+        scheduler = BoundedScheduler(workers=4, max_width=4)
+        assert not scheduler.pool_live  # lazy: no pool before parallel work
+        scheduler.run(str, range(8))
+        assert scheduler.pool_live
+        scheduler.close()
+        scheduler.close()  # idempotent
+        assert not scheduler.pool_live
+        assert not [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith(POOL_THREAD_PREFIX) and thread.is_alive()
+        ]
+
 
 class TestServeRequests:
     def test_request_validation(self):
@@ -366,3 +402,34 @@ class TestServeEngine:
         assert report.result("a").query_id == "a"
         with pytest.raises(ConfigurationError):
             report.result("missing")
+
+
+class TestEngineShutdown:
+    def test_context_manager_joins_pool_threads(self, tiny_domain):
+        import threading
+
+        from repro.serve.scheduler import POOL_THREAD_PREFIX
+
+        plan = identity_plan("target", 4)
+        engine, _ = make_engine(tiny_domain, workers=4)
+        engine.scheduler.effective_workers = 4  # defeat the 1-core clamp
+        with engine:
+            for index in range(4):
+                engine.submit(
+                    QueryRequest(f"q{index}", ("target",), (index,)), plan
+                )
+            engine.run()
+        assert not engine.scheduler.pool_live
+        assert not [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith(POOL_THREAD_PREFIX) and thread.is_alive()
+        ]
+
+    def test_context_manager_closes_on_error(self, tiny_domain):
+        engine, _ = make_engine(tiny_domain, workers=2)
+        with pytest.raises(RuntimeError):
+            with engine:
+                engine.scheduler.run(str, [1, 2])  # force pool creation
+                raise RuntimeError("boom")
+        assert not engine.scheduler.pool_live

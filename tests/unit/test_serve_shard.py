@@ -1,0 +1,340 @@
+"""Unit tests for the sharded serving tier (DESIGN.md §15).
+
+Covers stable key placement, the partitioned cache (flat snapshots,
+cross-topology restore), empty shards, the shards=1 ≡ unsharded
+byte-identity gate, Zipf workload balance, forked-process parity and
+crash-resume over per-shard journals.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    BudgetDistribution,
+    EstimationFormula,
+    PreprocessingPlan,
+    Query,
+)
+from repro.crowd.faults import FaultProfile, RetryPolicy
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.recording import AnswerRecorder
+from repro.errors import ConfigurationError
+from repro.serve import (
+    AnswerCache,
+    QueryRequest,
+    ServeEngine,
+    ShardedAnswerCache,
+    ShardRouter,
+    shard_journal_name,
+    stable_shard,
+    zipf_weights,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def identity_plan(target: str, n_questions: int = 4) -> PreprocessingPlan:
+    budget = BudgetDistribution({target: n_questions})
+    formula = EstimationFormula(target, {target: 1.0}, 0.0, budget)
+    return PreprocessingPlan(
+        query=Query.single(target),
+        attributes=(target,),
+        budget=budget,
+        formulas={target: formula},
+    )
+
+
+def make_engine(domain, **kwargs) -> tuple[ServeEngine, CrowdPlatform]:
+    platform = CrowdPlatform(domain, recorder=AnswerRecorder(), seed=3)
+    return ServeEngine(platform, **kwargs), platform
+
+
+def comparable(report) -> dict:
+    payload = report.to_dict()
+    payload.pop("wall_seconds")
+    return payload
+
+
+def serve_requests(engine) -> object:
+    plan = identity_plan("target", 4)
+    for query_id, objects in (
+        ("q1", tuple(range(6))),
+        ("q2", tuple(range(3, 9))),
+        ("q3", (0, 7, 11, 13)),
+    ):
+        engine.submit(QueryRequest(query_id, ("target",), objects), plan)
+    return engine.run()
+
+
+class TestStableShard:
+    def test_one_shard_is_always_zero(self):
+        assert stable_shard(123, 456, 1) == 0
+        assert stable_shard(-5, 0, 1) == 0
+
+    def test_deterministic_and_in_range(self):
+        for object_id in (-3, 0, 1, 42, 10**6):
+            for attr_key in (0, 7, 2**31):
+                first = stable_shard(object_id, attr_key, 5)
+                assert 0 <= first < 5
+                assert stable_shard(object_id, attr_key, 5) == first
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            stable_shard(1, 1, 0)
+
+    def test_consecutive_objects_spread(self):
+        # The crc32 mix exists so consecutive object ids do not stripe
+        # round-robin: the same shard must repeat somewhere in a short
+        # run of consecutive ids.
+        shards = [stable_shard(oid, 99, 4) for oid in range(16)]
+        assert len(set(shards)) == 4
+        assert shards != [oid % 4 for oid in range(16)]
+
+    def test_zipf_workload_balance(self):
+        # Keys drawn with Zipf popularity still spread: placement is a
+        # function of the key, so popularity skews *traffic*, never
+        # where distinct keys live.
+        rng = np.random.default_rng(7)
+        weights = zipf_weights(200, 1.1)
+        draws = rng.choice(200, size=2000, p=weights)
+        distinct = sorted(set(int(d) for d in draws))
+        counts = [0, 0, 0, 0]
+        for object_id in distinct:
+            counts[stable_shard(object_id, 1234, 4)] += 1
+        assert all(count > 0 for count in counts)
+        expected = len(distinct) / 4
+        assert max(counts) < 2 * expected
+        assert min(counts) > expected / 2
+
+
+class TestShardedAnswerCache:
+    def shard_of(self, object_id: int, attribute: str) -> int:
+        return stable_shard(object_id, len(attribute), 3)
+
+    def test_routes_to_owning_partition(self):
+        cache = ShardedAnswerCache(3, self.shard_of)
+        cache.add(1, "a", [0.5, 0.75])
+        owner = self.shard_of(1, "a")
+        assert cache.partitions[owner].count(1, "a") == 2
+        assert cache.count(1, "a") == 2
+        assert len(cache) == 1
+        assert cache.total_answers == 2
+        assert cache.shortfall(1, "a", 5) == 3
+        assert np.array_equal(cache.answers(1, "a", 2), [0.5, 0.75])
+
+    def test_empty_shards_report_zero(self):
+        cache = ShardedAnswerCache(3, self.shard_of)
+        cache.add(1, "a", [0.5])
+        keys = cache.keys_by_shard()
+        assert sum(keys) == 1
+        assert keys.count(0) == 2
+        assert sum(cache.answers_by_shard()) == 1
+
+    def test_flat_snapshot_matches_unsharded(self):
+        sharded = ShardedAnswerCache(3, self.shard_of)
+        flat = AnswerCache()
+        for object_id, attribute, answers in (
+            (5, "bb", [1.0, 2.0]),
+            (1, "a", [0.5]),
+            (3, "bb", [4.0]),
+        ):
+            sharded.add(object_id, attribute, answers)
+            flat.add(object_id, attribute, answers)
+        assert sharded.snapshot() == flat.snapshot()
+
+    def test_restore_across_shard_counts(self):
+        source = ShardedAnswerCache(3, self.shard_of)
+        source.add(1, "a", [0.5])
+        source.add(5, "bb", [1.0, 2.0])
+        source.note_hits(4)
+
+        def other_placement(object_id: int, attribute: str) -> int:
+            return stable_shard(object_id, len(attribute), 5)
+
+        restored = ShardedAnswerCache.from_snapshot(
+            source.snapshot(), 5, other_placement
+        )
+        assert restored.snapshot() == source.snapshot()
+        assert np.array_equal(restored.answers(5, "bb", 2), [1.0, 2.0])
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardedAnswerCache(0, self.shard_of)
+
+
+class TestShardRouter:
+    def test_partition_skips_empty_shards(self, tiny_platform):
+        router = ShardRouter(tiny_platform, 8, seed=3)
+        requests = [(0, "target", 0, 4), (1, "target", 0, 4)]
+        parts = router.partition(requests)
+        assert sum(len(positions) for _, positions in parts) == 2
+        assert len(parts) <= 2  # untouched shards never appear
+        assert router.wave_counts(requests) == [
+            (shard_id, len(positions), 4 * len(positions))
+            for shard_id, positions in parts
+        ]
+
+    def test_synonyms_share_a_shard(self, tiny_platform):
+        router = ShardRouter(tiny_platform, 8, seed=3)
+        for synonym in tiny_platform.domain.synonyms("flag_a"):
+            assert router.shard_of(0, synonym) == router.shard_of(0, "flag_a")
+        assert router.shard_of_key((0, "flag_a")) == router.shard_of(
+            0, "flag_a"
+        )
+
+    def test_faulted_router_requires_fault_seed(self, tiny_platform):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(
+                tiny_platform, 2, seed=3, faults=FaultProfile.uniform(0.2)
+            )
+
+    def test_generate_matches_unsharded_stream(self, tiny_platform):
+        from repro.serve import BatchedValueStream, BoundedScheduler
+
+        router = ShardRouter(tiny_platform, 4, seed=3)
+        reference = BatchedValueStream(tiny_platform, 3)
+        requests = [(oid, "target", 0, 5) for oid in range(12)]
+        scheduler = BoundedScheduler(workers=1)
+        produced = router.generate(requests, scheduler)
+        expected = reference.answers_many(requests)
+        assert len(produced) == len(expected)
+        for got, want in zip(produced, expected):
+            assert np.array_equal(got, want)
+        assert sum(router.stats.keys) == len(requests)
+        scheduler.close()
+
+
+class TestShardedEngineIdentity:
+    def test_shards_1_byte_identical_to_unsharded(self, tiny_domain):
+        baseline_engine, baseline_platform = make_engine(tiny_domain)
+        with baseline_engine:
+            baseline = serve_requests(baseline_engine)
+        sharded_engine, sharded_platform = make_engine(tiny_domain, shards=1)
+        with sharded_engine:
+            sharded = serve_requests(sharded_engine)
+        assert comparable(sharded) == comparable(baseline)
+        assert sharded_platform.ledger.snapshot() == (
+            baseline_platform.ledger.snapshot()
+        )
+
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_any_shard_count_identical(self, tiny_domain, shards):
+        baseline_engine, baseline_platform = make_engine(tiny_domain)
+        with baseline_engine:
+            baseline = serve_requests(baseline_engine)
+        sharded_engine, sharded_platform = make_engine(tiny_domain, shards=shards)
+        with sharded_engine:
+            sharded = serve_requests(sharded_engine)
+        assert comparable(sharded) == comparable(baseline)
+        assert sharded_platform.ledger.snapshot() == (
+            baseline_platform.ledger.snapshot()
+        )
+
+    def test_faulted_sharded_identical(self, tiny_domain):
+        kwargs = {
+            "faults": FaultProfile.uniform(0.2, latency_mean=0.05),
+            "retry": RetryPolicy(max_retries=3, base_delay=0.01),
+        }
+        baseline_engine, _ = make_engine(tiny_domain, **kwargs)
+        with baseline_engine:
+            baseline = serve_requests(baseline_engine)
+        sharded_engine, _ = make_engine(tiny_domain, shards=3, **kwargs)
+        with sharded_engine:
+            sharded = serve_requests(sharded_engine)
+        assert comparable(sharded) == comparable(baseline)
+
+    @needs_fork
+    def test_process_mode_identical(self, tiny_domain):
+        baseline_engine, _ = make_engine(tiny_domain, shards=2)
+        with baseline_engine:
+            baseline = serve_requests(baseline_engine)
+        process_engine, _ = make_engine(
+            tiny_domain, shards=2, shard_processes=True
+        )
+        with process_engine:
+            assert process_engine.router.process_mode
+            report = serve_requests(process_engine)
+        assert comparable(report) == comparable(baseline)
+
+    def test_shard_metrics_gauges(self, tiny_domain):
+        from repro.obs import Observability
+
+        obs = Observability.collecting()
+        platform = CrowdPlatform(
+            tiny_domain, recorder=AnswerRecorder(), seed=3, obs=obs
+        )
+        with ServeEngine(platform, shards=3) as engine:
+            serve_requests(engine)
+        gauges = obs.metrics.gauges()
+        assert gauges["serve.shards.count"] == 3
+        keys = [gauges[f"serve.shards.keys.{i}"] for i in range(3)]
+        assert sum(keys) == len(engine.cache)
+
+    def test_shard_processes_requires_shards(self, tiny_domain):
+        with pytest.raises(ConfigurationError):
+            make_engine(tiny_domain, shard_processes=True)
+
+
+class TestShardedCrashResume:
+    def test_resume_from_per_shard_journals_repurchases_nothing(
+        self, tiny_domain, tmp_path
+    ):
+        plan = identity_plan("target", 4)
+        crashed, crashed_platform = make_engine(
+            tiny_domain, shards=3, checkpoint_dir=tmp_path
+        )
+        crashed.submit(QueryRequest("q1", ("target",), tuple(range(8))), plan)
+        wave, crashed._queue = crashed._queue[:1], crashed._queue[1:]
+        crashed._serve_wave(wave)  # journaled per shard, never checkpointed
+        crashed.close()
+        spent = crashed_platform.ledger.total_spent
+        assert spent > 0
+        journals = [
+            tmp_path / shard_journal_name(shard)
+            for shard in range(3)
+            if (tmp_path / shard_journal_name(shard)).exists()
+        ]
+        assert len(journals) >= 2  # the wave's keys spread across shards
+
+        resumed, resumed_platform = make_engine(
+            tiny_domain, shards=3, checkpoint_dir=tmp_path, resume=True
+        )
+        with resumed:
+            assert resumed.restored_answers == 32
+            assert resumed_platform.ledger.total_spent == pytest.approx(spent)
+            resumed.submit(
+                QueryRequest("q1", ("target",), tuple(range(8))), plan
+            )
+            report = resumed.run()
+        # Fully served from the journal-restored cache: no re-purchase.
+        assert resumed_platform.ledger.total_spent == pytest.approx(spent)
+        assert report.result("q1").saved_answers == 32
+        assert report.result("q1").fresh_answers == 0
+
+    def test_cross_topology_resume(self, tiny_domain, tmp_path):
+        # Journals written at shards=3 restore into an unsharded engine
+        # (and vice versa): topology is execution detail, not state.
+        plan = identity_plan("target", 4)
+        crashed, crashed_platform = make_engine(
+            tiny_domain, shards=3, checkpoint_dir=tmp_path
+        )
+        crashed.submit(QueryRequest("q1", ("target",), (0, 1, 2)), plan)
+        wave, crashed._queue = crashed._queue[:1], crashed._queue[1:]
+        crashed._serve_wave(wave)
+        crashed.close()
+        spent = crashed_platform.ledger.total_spent
+
+        resumed, resumed_platform = make_engine(
+            tiny_domain, checkpoint_dir=tmp_path, resume=True
+        )
+        with resumed:
+            assert resumed.restored_answers == 12
+            resumed.submit(QueryRequest("q1", ("target",), (0, 1, 2)), plan)
+            report = resumed.run()
+        assert resumed_platform.ledger.total_spent == pytest.approx(spent)
+        assert report.result("q1").fresh_answers == 0
