@@ -22,6 +22,12 @@ import math
 import sys
 from pathlib import Path
 
+from repro.agg import (
+    AGGREGATORS,
+    validate_em_iterations,
+    validate_huber_delta,
+    validate_trim_fraction,
+)
 from repro.core.disq import DisQParams
 from repro.core.online import OnlineEvaluator, query_error
 from repro.core.tuning import optimize_budget_split
@@ -120,6 +126,58 @@ def _add_durability(parser: argparse.ArgumentParser, chaos: bool = False) -> Non
             default=None,
             help="fault injection: crash after N crowd interactions",
         )
+
+
+def _add_aggregator(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--aggregator",
+        choices=AGGREGATORS,
+        default="uniform",
+        help="answer aggregation strategy (uniform = the paper's mean; "
+        "reliability learns per-worker trust and feeds the allocator)",
+    )
+    parser.add_argument(
+        "--trim-fraction",
+        type=float,
+        default=0.1,
+        metavar="F",
+        help="fraction trimmed from each tail under --aggregator trimmed "
+        "(in [0, 0.5))",
+    )
+    parser.add_argument(
+        "--huber-delta",
+        type=float,
+        default=1.5,
+        metavar="D",
+        help="Huber clipping width in scaled-MAD units under "
+        "--aggregator huber (> 0)",
+    )
+    parser.add_argument(
+        "--em-iterations",
+        type=int,
+        default=5,
+        metavar="N",
+        help="EM sweeps for the reliability model (>= 1)",
+    )
+
+
+def _agg_params(args) -> dict:
+    """Aggregation knobs for :class:`DisQParams`, validated at admission.
+
+    Rejecting NaN/inf/out-of-range here (rather than deep in the
+    planner) turns a typo'd flag into exit code 2 with a clear message
+    before any money is spent.
+    """
+    return {
+        "aggregator": getattr(args, "aggregator", "uniform"),
+        "trim_fraction": validate_trim_fraction(
+            getattr(args, "trim_fraction", 0.1)
+        ),
+        "huber_delta": validate_huber_delta(getattr(args, "huber_delta", 1.5)),
+        "em_iterations": validate_em_iterations(
+            getattr(args, "em_iterations", 5)
+        ),
+    }
 
 
 def _make_obs(args) -> Observability:
@@ -234,7 +292,7 @@ def cmd_plan(args) -> int:
         query,
         args.b_obj,
         args.b_prc,
-        DisQParams(n1=args.n1),
+        DisQParams(n1=args.n1, **_agg_params(args)),
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         chaos=_make_chaos(args),
@@ -258,12 +316,13 @@ def cmd_evaluate(args) -> int:
     _check_durability_flags(args)
     obs = _make_obs(args)
     domain, platform, query = _build(args, obs)
+    params = DisQParams(n1=args.n1, **_agg_params(args))
     run = run_disq(
         platform,
         query,
         args.b_obj,
         args.b_prc,
-        DisQParams(n1=args.n1),
+        params,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         chaos=_make_chaos(args),
@@ -273,8 +332,16 @@ def cmd_evaluate(args) -> int:
         print(f"resumed from checkpoint after phase: {run.resumed_from}")
     print(plan.describe())
     object_ids = range(min(args.objects, domain.n_objects()))
+    # The online phase reuses the planner's fitted reliability model
+    # (when the strategy needs one), so the worker trust the offline
+    # tapes taught carries into every online weighted mean.
+    aggregator = params.build_aggregator(
+        model=getattr(run.planner, "reliability_model", None)
+    )
     with obs.tracer.span("online"):
-        estimates = OnlineEvaluator(platform.fork(), plan).evaluate(object_ids)
+        estimates = OnlineEvaluator(
+            platform.fork(), plan, aggregator=aggregator
+        ).evaluate(object_ids)
     error = query_error(domain, estimates, object_ids, query)
     print(f"\nDisQ weighted query error: {error:.4f}")
     extra = {"query_error": error}
@@ -302,6 +369,7 @@ def cmd_serve(args) -> int:
     _validate_cents("--b-obj", args.b_obj)
     _validate_cents("--b-prc", args.b_prc)
     faults = _parse_fault_profile(args.fault_profile)
+    params = DisQParams(n1=args.n1, **_agg_params(args))
     obs = _make_obs(args)
     domain = DOMAINS[args.domain](n_objects=args.n_objects, seed=args.seed)
     platform = CrowdPlatform(
@@ -328,6 +396,9 @@ def cmd_serve(args) -> int:
         shed_expired=args.shed_expired,
         shards=args.shards,
         shard_processes=args.shard_processes,
+        # A reliability aggregator starts neutral and learns worker
+        # trust online, from the spans the engine commits.
+        aggregator=params.build_aggregator(),
     ) as engine:
         if engine.resumed:
             print(
@@ -347,7 +418,7 @@ def cmd_serve(args) -> int:
                         make_query(domain, key),
                         args.b_obj,
                         args.b_prc,
-                        DisQParams(n1=args.n1),
+                        params,
                     )
                     plans[key] = run.plan
         if any(flag is not None for flag in admission_flags):
@@ -510,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(plan)
     plan.add_argument("--b-obj", type=float, default=4.0, help="online cents/object")
     plan.add_argument("--b-prc", type=float, default=2000.0, help="offline cents")
+    _add_aggregator(plan)
     _add_manifest(plan)
     _add_durability(plan, chaos=True)
     plan.set_defaults(handler=cmd_plan)
@@ -522,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--compare", action="store_true", help="also run NaiveAverage"
     )
+    _add_aggregator(evaluate)
     _add_manifest(evaluate)
     _add_durability(evaluate, chaos=True)
     evaluate.set_defaults(handler=cmd_evaluate)
@@ -601,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission front door: degrade queries whose deadline headroom "
         "is below this many seconds",
     )
+    _add_aggregator(serve)
     _add_manifest(serve)
     _add_durability(serve, chaos=True)
     serve.set_defaults(handler=cmd_serve)

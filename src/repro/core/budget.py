@@ -233,12 +233,51 @@ def greedy_counts_lazy(
     return counts
 
 
+def apply_reliability_gains(
+    objectives: list[TargetObjective], gains: np.ndarray
+) -> list[TargetObjective]:
+    """Shrink per-attribute answer variance by realized reliability.
+
+    The objective's ``Diag(S_c / b)`` term models the variance of a
+    ``b``-answer *uniform* mean.  Under reliability weighting the
+    estimator's variance is smaller by the weighting efficiency
+    ``gain = mean(rho) * mean(1/rho) >= 1`` (AM–HM), so the allocator
+    should plan with ``S_c / gain`` — buying fewer answers where the
+    crowd has proven precise and reinvesting the cents elsewhere.  A
+    gain of exactly 1 everywhere reproduces the unweighted objectives
+    (and therefore byte-identical counts) because ``x / 1.0 == x``
+    exactly in IEEE-754.
+
+    Applied to the *inputs* of the greedy loop, so all three allocator
+    methods (fast / lazy / reference) see the identical adjusted
+    problem and keep their equivalence guarantees.
+    """
+    gains = np.asarray(gains, dtype=float)
+    if not objectives:
+        raise ConfigurationError("need at least one target objective")
+    if gains.shape != objectives[0].s_c.shape:
+        raise ConfigurationError(
+            "reliability gains misaligned with objective attributes"
+        )
+    if not np.isfinite(gains).all() or (gains < 1.0).any():
+        raise ConfigurationError(
+            "reliability gains must be finite and >= 1"
+        )
+    return [
+        TargetObjective(
+            weight=o.weight, s_o=o.s_o, s_a=o.s_a, s_c=o.s_c / gains
+        )
+        for o in objectives
+    ]
+
+
 def greedy_counts(
     objectives: list[TargetObjective],
     costs: np.ndarray,
     budget_cents: float,
     method: str = "fast",
     metrics=None,
+    gains: np.ndarray | None = None,
 ) -> np.ndarray:
     """Greedy forward selection of per-attribute question counts.
 
@@ -262,7 +301,13 @@ def greedy_counts(
         count (``allocator.grants``) are recorded *after* the greedy
         loop finishes — never inside it, so instrumentation costs
         nothing per grant and the disabled path is one ``None`` check.
+    gains:
+        Optional per-attribute reliability gains (aligned with
+        ``costs``); see :func:`apply_reliability_gains`.  ``None``
+        leaves the objectives untouched.
     """
+    if gains is not None:
+        objectives = apply_reliability_gains(objectives, gains)
     if method == "fast":
         counts = greedy_counts_fast(objectives, costs, budget_cents)
     elif method == "lazy":
@@ -286,6 +331,7 @@ def find_budget_distribution(
     budget_cents: float,
     method: str = "fast",
     metrics=None,
+    gains: np.ndarray | None = None,
 ) -> BudgetDistribution:
     """Greedy budget distribution as a named :class:`BudgetDistribution`."""
     counts = greedy_counts(
@@ -294,6 +340,7 @@ def find_budget_distribution(
         budget_cents,
         method=method,
         metrics=metrics,
+        gains=gains,
     )
     return BudgetDistribution(
         {attribute: int(count) for attribute, count in zip(attributes, counts)}

@@ -28,6 +28,16 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.agg.base import (
+    AGGREGATORS,
+    UNATTRIBUTED,
+    Aggregator,
+    make_aggregator,
+    validate_em_iterations,
+    validate_huber_delta,
+    validate_trim_fraction,
+)
+from repro.agg.reliability import ReliabilityModel
 from repro.core.budget import (
     ALLOCATOR_METHODS,
     TargetObjective,
@@ -139,6 +149,16 @@ class DisQParams:
         truth).  Both produce identical budget distributions; the fast
         path is an order of magnitude quicker once the discovered
         attribute set grows.
+    aggregator:
+        Answer-aggregation strategy for the online phase: ``"uniform"``
+        (the paper's plain mean, default), ``"trimmed"``, ``"huber"``
+        or ``"reliability"`` (per-worker precision weighting learned
+        from the preprocessing tapes; also feeds effective-sample-size
+        gains back into the budget allocator).
+    trim_fraction, huber_delta, em_iterations:
+        Knobs of the respective aggregation strategies; validated here
+        regardless of which strategy is selected so a bad value fails
+        at configuration time, not mid-run.
     """
 
     k: int = 2
@@ -157,6 +177,10 @@ class DisQParams:
     min_probability_new: float = 0.02
     graceful_degradation: bool = False
     allocator: str = "fast"
+    aggregator: str = "uniform"
+    trim_fraction: float = 0.1
+    huber_delta: float = 1.5
+    em_iterations: int = 5
 
     def __post_init__(self) -> None:
         if self.allocator not in ALLOCATOR_METHODS:
@@ -164,6 +188,14 @@ class DisQParams:
                 f"unknown allocator {self.allocator!r}; "
                 f"choose from {ALLOCATOR_METHODS}"
             )
+        if self.aggregator not in AGGREGATORS:
+            raise ConfigurationError(
+                f"unknown aggregator {self.aggregator!r}; "
+                f"choose from {AGGREGATORS}"
+            )
+        validate_trim_fraction(self.trim_fraction)
+        validate_huber_delta(self.huber_delta)
+        validate_em_iterations(self.em_iterations)
         if self.candidate_policy not in ("all", "query_only"):
             raise ConfigurationError(
                 f"unknown candidate policy: {self.candidate_policy!r}"
@@ -194,6 +226,26 @@ class DisQParams:
         if self.s_o_estimator == "naive":
             return NaiveMeanEstimator()
         return ZeroEstimator()
+
+    def build_aggregator(
+        self, model: ReliabilityModel | None = None
+    ) -> Aggregator | None:
+        """Instantiate the configured aggregation strategy.
+
+        Returns ``None`` for ``"uniform"`` so callers keep the
+        historical fast paths without an extra indirection.  A shared
+        ``model`` threads planner-learned precisions into the online
+        phase; omitted, a reliability aggregator starts neutral.
+        """
+        if self.aggregator == "uniform":
+            return None
+        return make_aggregator(
+            self.aggregator,
+            trim_fraction=self.trim_fraction,
+            huber_delta=self.huber_delta,
+            em_iterations=self.em_iterations,
+            model=model,
+        )
 
 
 class DisQPlanner:
@@ -262,6 +314,11 @@ class DisQPlanner:
         self._rounds = 0
         self._degradations: list[str] = []
         self._dismantle_fault_strikes = 0
+        #: Reliability model fitted during the allocate phase (only
+        #: with ``params.aggregator == "reliability"``); hand it to
+        #: :meth:`DisQParams.build_aggregator` so the online phase
+        #: weighs answers with the precisions the allocator planned by.
+        self.reliability_model: ReliabilityModel | None = None
 
         # Durability hooks (duck-typed so this module never imports
         # repro.durability — that package imports this one).
@@ -351,6 +408,12 @@ class DisQPlanner:
                         "but holds no allocation"
                     )
                 budget = self._restored_allocation
+                if self.params.aggregator == "reliability":
+                    # Refit from the checkpointed tapes so a resumed run
+                    # hands the online phase the same precisions an
+                    # uninterrupted run would (the EM fit is a pure
+                    # function of the recorded tapes).
+                    self._reliability_gains(list(self.stats.attributes))
             with obs.tracer.span("train"):
                 formulas = self._learn_regressions(budget)
             self._phase_boundary("train")
@@ -843,11 +906,50 @@ class DisQPlanner:
                     f"statistics could be collected for it"
                 )
 
+    def _reliability_gains(self, attributes: list[str]) -> np.ndarray | None:
+        """Fit per-worker precisions on the preprocessing answer tapes.
+
+        Every value answer bought during preprocessing carries its
+        worker id, so the planner can run the batch EM fit over the
+        complete recorded tapes and convert the learned precisions into
+        one effective-sample-size gain per attribute — computed over
+        the multiset of workers who actually answered that attribute.
+        The fitted model is kept on :attr:`reliability_model` so the
+        online phase aggregates with the same precisions the allocator
+        planned with.  Returns ``None`` (no adjustment) when no
+        attributed residuals exist, e.g. on tapes replayed from an old
+        provenance-free journal.
+        """
+        groups: list[tuple[list[float], list[int]]] = []
+        workers_by_attribute: dict[str, list[int]] = {}
+        tapes = self.platform.recorder.attributed_value_tapes()
+        for key, values, worker_ids in tapes:
+            groups.append((values, worker_ids))
+            workers_by_attribute.setdefault(key[1], []).extend(
+                wid for wid in worker_ids if wid != UNATTRIBUTED
+            )
+        model = ReliabilityModel(em_iterations=self.params.em_iterations)
+        model.fit(groups)
+        self.reliability_model = model
+        if model.observed_workers == 0:
+            return None
+        gains = np.array(
+            [model.gain(workers_by_attribute.get(a, [])) for a in attributes],
+            dtype=float,
+        )
+        obs = self.platform.obs
+        obs.metrics.gauge("agg.workers", model.observed_workers)
+        obs.metrics.gauge("agg.gain", float(np.mean(gains)))
+        return gains
+
     def _find_budget_distribution(self) -> BudgetDistribution:
         attributes = list(self.stats.attributes)
         if not attributes:
             return BudgetDistribution({})
         objectives, costs = self._objectives(attributes)
+        gains = None
+        if self.params.aggregator == "reliability":
+            gains = self._reliability_gains(attributes)
         return find_budget_distribution(
             objectives,
             attributes,
@@ -855,6 +957,7 @@ class DisQPlanner:
             self.b_obj_cents,
             method=self.params.allocator,
             metrics=self.platform.obs.metrics_sink,
+            gains=gains,
         )
 
     def _fallback_budget(self) -> BudgetDistribution:

@@ -16,6 +16,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.agg.base import Aggregator
 from repro.core.model import PreprocessingPlan, Query
 from repro.crowd.platform import CrowdPlatform
 from repro.data.table import DataTable
@@ -45,6 +46,22 @@ class AnswerSource(Protocol):
         ...
 
 
+class AttributedAnswerSource(AnswerSource, Protocol):
+    """An answer source that also knows *who* produced each answer.
+
+    Reliability-weighted aggregation needs per-answer worker ids;
+    sources that can supply them implement :meth:`fetch_attributed`
+    (one call returning both, so impure sources never double-purchase).
+    Positions without provenance use the ``-1`` sentinel.
+    """
+
+    def fetch_attributed(
+        self, object_id: int, attribute: str, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(answers, worker_ids)`` aligned 1:1, float64 / int64."""
+        ...
+
+
 class PlatformAnswerSource:
     """The paper-faithful source: every answer is bought from the crowd."""
 
@@ -54,6 +71,17 @@ class PlatformAnswerSource:
     def fetch(self, object_id: int, attribute: str, n: int) -> np.ndarray:
         return np.asarray(
             self.platform.ask_value(object_id, attribute, n), dtype=np.float64
+        )
+
+    def fetch_attributed(
+        self, object_id: int, attribute: str, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        answers, worker_ids = self.platform.ask_value_attributed(
+            object_id, attribute, n
+        )
+        return (
+            np.asarray(answers, dtype=np.float64),
+            np.asarray(worker_ids, dtype=np.int64),
         )
 
 
@@ -70,6 +98,7 @@ class OnlineEvaluator:
         platform: CrowdPlatform,
         plans: PreprocessingPlan | Sequence[PreprocessingPlan],
         answer_source: AnswerSource | None = None,
+        aggregator: Aggregator | None = None,
     ) -> None:
         if isinstance(plans, PreprocessingPlan):
             plans = [plans]
@@ -82,6 +111,20 @@ class OnlineEvaluator:
             if answer_source is not None
             else PlatformAnswerSource(platform)
         )
+        # ``uniform`` (the paper's plain mean) keeps the historical
+        # np.mean fast paths, bit for bit, by collapsing to None here.
+        if aggregator is not None and aggregator.name == "uniform":
+            aggregator = None
+        self._aggregator = aggregator
+        if (
+            aggregator is not None
+            and aggregator.needs_workers
+            and not hasattr(self.source, "fetch_attributed")
+        ):
+            raise ConfigurationError(
+                f"aggregator {aggregator.name!r} needs worker-attributed "
+                "answers but the answer source has no fetch_attributed"
+            )
         targets: list[str] = []
         for plan in self.plans:
             targets.extend(plan.query.targets)
@@ -131,6 +174,27 @@ class OnlineEvaluator:
             plan.budget.cost(self._price_of) for plan in self.plans
         )
 
+    def _fetch(
+        self, object_id: int, attribute: str, count: int
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One source round-trip, attributed only when the aggregator
+        needs provenance (impure sources must never double-purchase)."""
+        aggregator = self._aggregator
+        if aggregator is not None and aggregator.needs_workers:
+            return self.source.fetch_attributed(  # type: ignore[attr-defined]
+                object_id, attribute, count
+            )
+        return self.source.fetch(object_id, attribute, count), None
+
+    def _reduce(
+        self, answers: np.ndarray, workers: np.ndarray | None
+    ) -> float:
+        if self._aggregator is None:
+            return float(np.mean(answers))
+        return self._aggregator.aggregate(
+            answers, None if workers is None else list(workers)
+        )
+
     def estimate_object(self, object_id: int) -> dict[str, float]:
         """Estimated target values for one object (the paper's ``o.a^(*)``).
 
@@ -141,6 +205,9 @@ class OnlineEvaluator:
         exhausted) is skipped the same way — its formula term drops out
         and the loss is noted in :attr:`fault_skips` — so a flaky crowd
         degrades one term at a time instead of killing the whole run.
+        Every dropped-out term bumps the ``agg.missing_terms`` counter,
+        so partially-evaluated formulas are observable instead of
+        silently blending into the error numbers.
         """
         obs = self.platform.obs
         obs.metrics.inc("online.objects")
@@ -149,7 +216,7 @@ class OnlineEvaluator:
             means: dict[str, float] = {}
             for attribute, count in items:
                 try:
-                    answers = self.source.fetch(object_id, attribute, count)
+                    answers, workers = self._fetch(object_id, attribute, count)
                 except BudgetExhaustedError:
                     self.budget_skips.append((object_id, attribute))
                     obs.metrics.inc("online.budget_skips")
@@ -169,9 +236,15 @@ class OnlineEvaluator:
                     )
                     continue
                 if len(answers):
-                    means[attribute] = float(np.mean(answers))
+                    means[attribute] = self._reduce(answers, workers)
             for target in plan.query.targets:
-                estimates[target] = plan.formula(target).estimate(means)
+                formula = plan.formula(target)
+                missing = sum(
+                    1 for term in formula.coefficients if term not in means
+                )
+                if missing:
+                    obs.metrics.inc("agg.missing_terms", missing)
+                estimates[target] = formula.estimate(means)
         return estimates
 
     def estimate_objects(self, object_ids: Sequence[int]) -> dict[str, np.ndarray]:
@@ -212,6 +285,18 @@ class OnlineEvaluator:
             for attribute, count in items:
                 means = np.full(count_objects, np.nan, dtype=np.float64)
                 present = np.zeros(count_objects, dtype=bool)
+                if self._aggregator is not None:
+                    # Weighted reductions are per-row scalar calls; only
+                    # the uniform mean has a grouped matrix form.
+                    for row, object_id in enumerate(object_ids):
+                        answers, workers = self._fetch(
+                            object_id, attribute, count
+                        )
+                        if len(answers):
+                            means[row] = self._reduce(answers, workers)
+                            present[row] = True
+                    columns[attribute] = (means, present)
+                    continue
                 rows = [
                     self.source.fetch(object_id, attribute, count)
                     for object_id in object_ids
@@ -231,6 +316,14 @@ class OnlineEvaluator:
                 columns[attribute] = (means, present)
             for target in plan.query.targets:
                 formula = plan.formula(target)
+                missing = 0
+                for term in formula.coefficients:
+                    if term in columns:
+                        missing += int((~columns[term][1]).sum())
+                    else:
+                        missing += count_objects
+                if missing:
+                    obs.metrics.inc("agg.missing_terms", missing)
                 if columns:
                     out[target] = apply_formula_columns(formula, columns)
                 else:

@@ -359,7 +359,7 @@ class CrowdPlatform:
     def _valid_value(self, answer: object, low: float, high: float) -> bool:
         return plausible_value(answer, low, high)
 
-    def _resilient_value(self, object_id: int, canonical: str) -> float:
+    def _resilient_value(self, object_id: int, canonical: str) -> tuple[float, int]:
         low, high = self.domain.answer_range(canonical)
         answer, worker_id = self._resilient_ask(
             "value",
@@ -370,7 +370,7 @@ class CrowdPlatform:
             validate=lambda a: self._valid_value(a, low, high),
         )
         self._batch_worker_ids.append(worker_id)
-        return float(answer)
+        return float(answer), worker_id
 
     # ------------------------------------------------------------------
     # The four question types
@@ -383,17 +383,33 @@ class CrowdPlatform:
         is configured).  Charges ``n`` value questions after the batch
         is collected.
         """
+        return self.ask_value_attributed(object_id, attribute, n)[0]
+
+    def ask_value_attributed(
+        self, object_id: int, attribute: str, n: int = 1
+    ) -> tuple[list[float], list[int]]:
+        """:meth:`ask_value` plus the worker id behind each answer.
+
+        The ids align 1:1 with the returned (spam-filtered) answers and
+        are also recorded on the recorder's provenance tapes, which is
+        what reliability-weighted aggregation learns from.  Replayed
+        prefixes return the provenance recorded when first generated
+        (``-1`` for answers that predate attribution).
+        """
         if n <= 0:
-            return []
+            return [], []
         canonical = self.resolve(attribute)
         cost = n * self.value_price(attribute)
         self._check_affordable(cost)
         key = (object_id, attribute)
         start = self._value_cursor.get(key, 0)
         if self.faults is None:
-            generate = lambda: self.pool.draw().answer_value(  # noqa: E731
-                self.domain, object_id, canonical
-            )
+            def generate() -> tuple[float, int]:
+                worker = self.pool.draw()
+                return (
+                    worker.answer_value(self.domain, object_id, canonical),
+                    worker.worker_id,
+                )
         else:
             # Fresh answers start where the recorder's tape currently
             # ends; batch positions before that replay recorded answers
@@ -406,7 +422,7 @@ class CrowdPlatform:
             generate = lambda: self._resilient_value(  # noqa: E731
                 object_id, canonical
             )
-        answers = self.recorder.value_answers(
+        answers, worker_ids = self.recorder.value_answers_attributed(
             object_id, attribute, start, n, generate
         )
         self._value_cursor[key] = start + n
@@ -419,20 +435,25 @@ class CrowdPlatform:
             dropped = len(answers) - len(kept)
             if dropped:
                 self.obs.metrics.inc("crowd.spam.rejected", dropped)
+            rejected = rejected_indices(list(answers), list(kept))
             if self.faults is not None and self._batch_worker_ids:
                 # Spam rejections count as faults for the workers that
                 # produced them (quarantine input).  Attribution is by
                 # batch *position* — aligned with ``rejected_indices``
                 # — so two workers giving the same value can never be
                 # confused; replayed answers are left unattributed.
-                for index in rejected_indices(list(answers), list(kept)):
+                for index in rejected:
                     position = index - self._batch_fresh_base
                     if 0 <= position < len(self._batch_worker_ids):
                         self.breaker.record_fault(
                             self._batch_worker_ids[position], self.clock.now
                         )
+            dropped_set = set(rejected)
+            worker_ids = [
+                wid for i, wid in enumerate(worker_ids) if i not in dropped_set
+            ]
             answers = kept
-        return list(answers)
+        return list(answers), list(worker_ids)
 
     def ask_value_mean(self, object_id: int, attribute: str, n: int) -> float:
         """Average of ``n`` value answers — the paper's ``o.a^(n)``.

@@ -11,8 +11,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crowd.worker import BiasedWorker, HonestWorker, SpamWorker, Worker
+from repro.crowd.worker import (
+    BiasedWorker,
+    CollusionRingWorker,
+    DriftingWorker,
+    HonestWorker,
+    SleeperWorker,
+    SpamWorker,
+    Worker,
+)
 from repro.errors import ConfigurationError
+
+#: Knuth-multiplier mix deriving the collusion ring's shared seed from
+#: the pool seed without consuming any pool RNG draws (so enabling a
+#: ring leaves every other worker's stream byte-identical).
+_RING_SEED_MIX = 0x9E3779B1
 
 
 class WorkerPool:
@@ -41,6 +54,20 @@ class WorkerPool:
         used by fault injection (0, the default, leaves every worker at
         proneness 1.0 and draws no extra randomness, preserving seeded
         worker streams byte-for-byte).
+    colluding_fraction:
+        Fraction forming a single collusion ring: every member derives
+        the *same* per-(attribute, object) error from one shared ring
+        seed, so their errors are perfectly correlated instead of
+        averaging out (see
+        :class:`~repro.crowd.worker.CollusionRingWorker`).
+    drifting_fraction:
+        Fraction of honest workers whose noise variance grows along the
+        object axis at ``drift_rate`` per object id.
+    sleeper_fraction:
+        Fraction of sleepers: honest on objects below
+        ``sleeper_patience`` (the gold-screened prefix), spam after.
+    collusion_bias_scale, drift_rate, sleeper_patience:
+        Persona knobs, forwarded to the respective worker types.
     """
 
     def __init__(
@@ -53,44 +80,79 @@ class WorkerPool:
         synonym_rate: float = 0.3,
         skill_spread: float = 0.0,
         fault_spread: float = 0.0,
+        colluding_fraction: float = 0.0,
+        drifting_fraction: float = 0.0,
+        sleeper_fraction: float = 0.0,
+        collusion_bias_scale: float = 1.0,
+        drift_rate: float = 0.02,
+        sleeper_patience: int = 50,
     ) -> None:
         if size <= 0:
             raise ConfigurationError(f"pool size must be positive, got {size}")
-        if not 0.0 <= spam_fraction <= 1.0 or not 0.0 <= biased_fraction <= 1.0:
-            raise ConfigurationError("worker fractions must lie in [0, 1]")
-        if spam_fraction + biased_fraction > 1.0:
+        fractions = {
+            "spam_fraction": spam_fraction,
+            "biased_fraction": biased_fraction,
+            "colluding_fraction": colluding_fraction,
+            "drifting_fraction": drifting_fraction,
+            "sleeper_fraction": sleeper_fraction,
+        }
+        for name, fraction in fractions.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must lie in [0, 1], got {fraction!r}"
+                )
+        if sum(fractions.values()) > 1.0:
             raise ConfigurationError(
-                "spam_fraction + biased_fraction must not exceed 1"
+                "worker fractions must not sum to more than 1"
             )
         self._rng = np.random.default_rng(seed)
         seeds = self._rng.integers(0, 2**63 - 1, size=size)
 
         n_spam = int(round(size * spam_fraction))
         n_biased = int(round(size * biased_fraction))
+        n_ring = int(round(size * colluding_fraction))
+        n_drift = int(round(size * drifting_fraction))
+        n_sleeper = int(round(size * sleeper_fraction))
+        ring_seed = (int(seed) * _RING_SEED_MIX + 1) & (2**63 - 1)
+        # Contiguous id bands in a fixed order; with the adversarial
+        # fractions at 0 the composition — and every worker's seeded
+        # stream — is byte-identical to the historical pool.
+        bands = [n_spam, n_biased, n_ring, n_drift, n_sleeper]
+        boundaries = [sum(bands[: i + 1]) for i in range(len(bands))]
         self._workers: list[Worker] = []
         for worker_id in range(size):
             worker_seed = int(seeds[worker_id])
             skill = 1.0
             if skill_spread > 0:
                 skill = float(np.exp(self._rng.normal(0.0, skill_spread)))
-            if worker_id < n_spam:
+            honest_kwargs = dict(
+                skill=skill, reliability=reliability, synonym_rate=synonym_rate
+            )
+            if worker_id < boundaries[0]:
                 worker: Worker = SpamWorker(worker_id, worker_seed)
-            elif worker_id < n_spam + n_biased:
-                worker = BiasedWorker(
+            elif worker_id < boundaries[1]:
+                worker = BiasedWorker(worker_id, worker_seed, **honest_kwargs)
+            elif worker_id < boundaries[2]:
+                worker = CollusionRingWorker(
                     worker_id,
                     worker_seed,
-                    skill=skill,
-                    reliability=reliability,
-                    synonym_rate=synonym_rate,
+                    ring_seed=ring_seed,
+                    bias_scale=collusion_bias_scale,
+                    **honest_kwargs,
+                )
+            elif worker_id < boundaries[3]:
+                worker = DriftingWorker(
+                    worker_id, worker_seed, drift_rate=drift_rate, **honest_kwargs
+                )
+            elif worker_id < boundaries[4]:
+                worker = SleeperWorker(
+                    worker_id,
+                    worker_seed,
+                    patience=sleeper_patience,
+                    **honest_kwargs,
                 )
             else:
-                worker = HonestWorker(
-                    worker_id,
-                    worker_seed,
-                    skill=skill,
-                    reliability=reliability,
-                    synonym_rate=synonym_rate,
-                )
+                worker = HonestWorker(worker_id, worker_seed, **honest_kwargs)
             if fault_spread > 0:
                 worker.fault_proneness = float(
                     np.exp(self._rng.normal(0.0, fault_spread))

@@ -15,9 +15,14 @@ from algorithm comparisons exactly as in the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, TypeVar
+from typing import Callable, Hashable, Iterator, TypeVar
 
 T = TypeVar("T")
+
+#: Worker id recorded for answers with no provenance (kept equal to
+#: :data:`repro.agg.base.UNATTRIBUTED`; duplicated here so the crowd
+#: layer needs no import of the aggregation package).
+UNATTRIBUTED = -1
 
 #: A recorded example: (object id, {target attribute: true value}).
 ExampleRecord = tuple[int, dict[str, float]]
@@ -38,6 +43,12 @@ class AnswerRecorder:
         self._dismantles: dict[str, list[str]] = {}
         self._votes: dict[tuple[str, str], list[bool]] = {}
         self._examples: dict[tuple[str, ...], list[ExampleRecord]] = {}
+        #: Per-key worker ids aligned with ``_values`` from index 0.  A
+        #: tape may be *shorter* than its answer tape — missing suffix
+        #: positions mean :data:`UNATTRIBUTED` (see
+        #: :meth:`value_worker_ids`), so pre-attribution answers need no
+        #: retroactive padding.
+        self._value_workers: dict[tuple[int, str], list[int]] = {}
         self.journal: object | None = None
 
     # ------------------------------------------------------------------
@@ -77,6 +88,78 @@ class AnswerRecorder:
             self._values, "value", (object_id, attribute), start + count, generate
         )
         return sequence[start : start + count]
+
+    def value_answers_attributed(
+        self,
+        object_id: int,
+        attribute: str,
+        start: int,
+        count: int,
+        generate: Callable[[], tuple[float, int]],
+    ) -> tuple[list[float], list[int]]:
+        """Like :meth:`value_answers`, with per-answer worker provenance.
+
+        ``generate`` returns ``(answer, worker_id)`` pairs; the worker
+        id is journaled with the answer and kept on a parallel tape so
+        reliability inference can pool residuals per worker.  Replayed
+        prefixes return whatever provenance was recorded when they were
+        first generated (:data:`UNATTRIBUTED` for answers that predate
+        attribution).
+        """
+        key = (object_id, attribute)
+        sequence = self._values.setdefault(key, [])
+        workers = self._value_workers.setdefault(key, [])
+        while len(sequence) < start + count:
+            answer, worker = generate()
+            if self.journal is not None:
+                self.journal.record_answer(
+                    "value", key, len(sequence), answer, worker=worker
+                )
+            # Pad the provenance tape up to this index first, so the
+            # fresh id lands aligned even after unattributed history.
+            while len(workers) < len(sequence):
+                workers.append(UNATTRIBUTED)
+            sequence.append(answer)
+            workers.append(int(worker))
+        return (
+            sequence[start : start + count],
+            self.value_worker_ids(object_id, attribute, start, count),
+        )
+
+    def value_worker_ids(
+        self, object_id: int, attribute: str, start: int, count: int
+    ) -> list[int]:
+        """Worker ids for one key's answers, :data:`UNATTRIBUTED`-padded."""
+        tape = self._value_workers.get((object_id, attribute), [])
+        return [
+            tape[i] if i < len(tape) else UNATTRIBUTED
+            for i in range(start, start + count)
+        ]
+
+    def note_value_worker(
+        self, object_id: int, attribute: str, index: int, worker: int
+    ) -> None:
+        """Record provenance for one already-stored answer (journal replay)."""
+        workers = self._value_workers.setdefault((object_id, attribute), [])
+        while len(workers) < index:
+            workers.append(UNATTRIBUTED)
+        if index == len(workers):
+            workers.append(int(worker))
+        else:
+            workers[index] = int(worker)
+
+    def attributed_value_tapes(
+        self,
+    ) -> Iterator[tuple[tuple[int, str], list[float], list[int]]]:
+        """Every value tape with aligned worker ids, in sorted key order.
+
+        The canonical iteration order (not dict insertion order) is what
+        keeps reliability fits deterministic across runs that recorded
+        the same answers in different sequences.
+        """
+        for key in sorted(self._values):
+            values = self._values[key]
+            yield key, values, self.value_worker_ids(key[0], key[1], 0, len(values))
 
     def dismantle_answers(
         self, attribute: str, start: int, count: int, generate: Callable[[], str]
@@ -179,15 +262,25 @@ class AnswerRecorder:
         """
         other = AnswerRecorder.from_dict(payload)
         self._values = other._values
+        self._value_workers = other._value_workers
         self._dismantles = other._dismantles
         self._votes = other._votes
         self._examples = other._examples
 
     def to_dict(self) -> dict:
         """JSON-serialisable snapshot of every recorded answer."""
+        def _value_entry(oid: int, attr: str, answers: list[float]) -> dict:
+            entry = {"object": oid, "attribute": attr, "answers": answers}
+            workers = self._value_workers.get((oid, attr))
+            if workers:
+                # Optional key: snapshots of unattributed runs stay
+                # byte-identical to the pre-attribution format.
+                entry["workers"] = self.value_worker_ids(oid, attr, 0, len(answers))
+            return entry
+
         return {
             "values": [
-                {"object": oid, "attribute": attr, "answers": answers}
+                _value_entry(oid, attr, answers)
                 for (oid, attr), answers in self._values.items()
             ],
             "dismantles": [
@@ -216,6 +309,8 @@ class AnswerRecorder:
         for entry in payload.get("values", []):
             key = (int(entry["object"]), str(entry["attribute"]))
             recorder._values[key] = [float(a) for a in entry["answers"]]
+            if entry.get("workers"):
+                recorder._value_workers[key] = [int(w) for w in entry["workers"]]
         for entry in payload.get("dismantles", []):
             recorder._dismantles[str(entry["attribute"])] = [
                 str(a) for a in entry["answers"]

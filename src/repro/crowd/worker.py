@@ -400,6 +400,186 @@ class BiasedWorker(HonestWorker):
         }
 
 
+class CollusionRingWorker(HonestWorker):
+    """A member of a colluding ring agreeing on per-question errors.
+
+    Every ring member derives the *same* additive error for each
+    (attribute, object) pair from the shared ``ring_seed`` instead of
+    their private seed — the coordinated-adversary case: the ring
+    agrees on a wrong answer per question, so its errors are perfectly
+    correlated and a uniform mean is shifted by the full shared error
+    instead of averaging it away.  Because the error varies per object
+    (zero-mean across the database), no fitted intercept can calibrate
+    it out the way a constant shift would be.  Per-question noise stays
+    private (members answer slightly differently, so naive duplicate
+    detection does not expose them).
+
+    The shared error is a pure function of ``(ring_seed, attribute,
+    object_id)``, so the stateful and stateless answer paths agree and
+    the serving tier's determinism contracts hold; the batched stream
+    routes these lanes through scalar replay (unknown exact type),
+    which preserves byte identity by construction.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        seed: int,
+        ring_seed: int,
+        bias_scale: float = 1.0,
+        **kwargs: float,
+    ) -> None:
+        super().__init__(worker_id, seed, **kwargs)
+        self.bias_scale = bias_scale
+        self.ring_seed = int(ring_seed)
+        self._ring_biases: dict[tuple[str, int], float] = {}
+
+    def _ring_bias(self, domain: Domain, attribute: str, object_id: int) -> float:
+        key = (attribute, int(object_id))
+        cached = self._ring_biases.get(key)
+        if cached is None:
+            noise_sd = np.sqrt(self.skill * domain.difficulty(attribute))
+            bias_rng = np.random.default_rng(
+                [
+                    self.ring_seed,
+                    zlib.crc32(attribute.encode("utf-8")),
+                    int(object_id),
+                ]
+            )
+            cached = float(bias_rng.normal(0.0, self.bias_scale * noise_sd))
+            self._ring_biases[key] = cached
+        return cached
+
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        answer = super().answer_value(domain, object_id, attribute)
+        answer += self._ring_bias(domain, attribute, object_id)
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return answer
+
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        answer = super().answer_value_stateless(domain, object_id, attribute, rng)
+        answer += self._ring_bias(domain, attribute, object_id)
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return answer
+
+    def answer_values_stateless(
+        self,
+        domain: Domain,
+        object_ids: np.ndarray,
+        attribute: str,
+        variates: np.ndarray,
+    ) -> np.ndarray:
+        values = super().answer_values_stateless(
+            domain, object_ids, attribute, variates
+        )
+        biases = np.array(
+            [
+                self._ring_bias(domain, attribute, object_id)
+                for object_id in object_ids
+            ]
+        )
+        return biased_shift(values, biases, bool(domain.is_binary(attribute)))
+
+
+class DriftingWorker(HonestWorker):
+    """An honest worker whose answer noise grows along the object axis.
+
+    Models reliability drift (fatigue, declining attention): the noise
+    variance for object ``o`` is scaled by ``1 + drift_rate * o``.  The
+    drift is keyed to the object id — the serving tier's only
+    deterministic notion of progress — so both answer paths stay pure
+    functions of their inputs and every byte-identity gate holds.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        seed: int,
+        drift_rate: float = 0.02,
+        **kwargs: float,
+    ) -> None:
+        super().__init__(worker_id, seed, **kwargs)
+        self.drift_rate = float(drift_rate)
+
+    def _drifted_sd(self, domain: Domain, object_id: int, attribute: str) -> float:
+        scale = 1.0 + self.drift_rate * max(int(object_id), 0)
+        return float(np.sqrt(self.skill * scale * domain.difficulty(attribute)))
+
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        truth = domain.true_value(object_id, attribute)
+        answer = truth + self._rng.normal(
+            0.0, self._drifted_sd(domain, object_id, attribute)
+        )
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return float(answer)
+
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        truth = domain.true_value(object_id, attribute)
+        answer = truth + rng.normal(
+            0.0, self._drifted_sd(domain, object_id, attribute)
+        )
+        if domain.is_binary(attribute):
+            answer = float(np.clip(answer, 0.0, 1.0))
+        return float(answer)
+
+
+class SleeperWorker(HonestWorker):
+    """A spammer who behaves until the gold screen stops looking.
+
+    Gold-standard screening checks workers on a known prefix of the
+    object set; a sleeper answers those honestly and turns to spam
+    afterwards.  The turn is keyed to the object id (``object_id >=
+    patience``) rather than a stateful answer counter so the stateless
+    serving paths agree with the offline path and answers stay pure
+    per-coordinate functions.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        seed: int,
+        patience: int = 50,
+        **kwargs: float,
+    ) -> None:
+        super().__init__(worker_id, seed, **kwargs)
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0, got {patience}")
+        self.patience = int(patience)
+
+    def answer_value(self, domain: Domain, object_id: int, attribute: str) -> float:
+        if int(object_id) < self.patience:
+            return super().answer_value(domain, object_id, attribute)
+        low, high = domain.answer_range(attribute)
+        return float(self._rng.uniform(low, high))
+
+    def answer_value_stateless(
+        self,
+        domain: Domain,
+        object_id: int,
+        attribute: str,
+        rng: np.random.Generator,
+    ) -> float:
+        if int(object_id) < self.patience:
+            return super().answer_value_stateless(domain, object_id, attribute, rng)
+        low, high = domain.answer_range(attribute)
+        return float(rng.uniform(low, high))
+
+
 class SpamWorker(Worker):
     """A malicious/lazy worker producing uninformative answers.
 

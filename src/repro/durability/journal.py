@@ -60,11 +60,15 @@ def _crc(record: dict) -> int:
     return zlib.crc32(_canonical(body)) & 0xFFFFFFFF
 
 
-def _encode_answer(kind: str, key, index: int, item) -> dict:
+def _encode_answer(kind: str, key, index: int, item, worker: int | None = None) -> dict:
     """One answer record, keyed per the recorder's store for ``kind``."""
     if kind == "value":
         object_id, attribute = key
         record = {"object": int(object_id), "attribute": str(attribute)}
+        if worker is not None:
+            # Optional provenance for reliability inference; absent for
+            # unattributed runs so their journal bytes are unchanged.
+            record["worker"] = int(worker)
         answer = float(item)
     elif kind == "dismantle":
         record = {"attribute": str(key)}
@@ -194,9 +198,16 @@ class Journal:
 
     # -- recorder / ledger hooks (duck-typed) ---------------------------
 
-    def record_answer(self, kind: str, key, index: int, item) -> None:
-        """Journal one freshly generated crowd answer before it is kept."""
-        self.append(_encode_answer(kind, key, index, item))
+    def record_answer(
+        self, kind: str, key, index: int, item, worker: int | None = None
+    ) -> None:
+        """Journal one freshly generated crowd answer before it is kept.
+
+        ``worker`` (value answers only) records which simulated worker
+        produced the answer, so replay can rebuild the recorder's
+        provenance tapes for reliability-weighted aggregation.
+        """
+        self.append(_encode_answer(kind, key, index, item, worker=worker))
 
     def record_ledger(
         self, event: str, category: str, cost: float = 0.0, count: int = 1
@@ -320,6 +331,8 @@ def _apply_answer(recorder: AnswerRecorder, record: dict) -> None:
             f"{record['kind']}:{key!r} (index {index}, have {len(sequence)})"
         )
     sequence.append(value)
+    if record["kind"] == "value" and "worker" in record:
+        recorder.note_value_worker(key[0], key[1], index, int(record["worker"]))
 
 
 def _rewind(recorder: AnswerRecorder, tapes: dict) -> None:
@@ -347,6 +360,15 @@ def _rewind(recorder: AnswerRecorder, tapes: dict) -> None:
                 )
             del tape[length:]
             store[key] = tape
+    # Provenance tapes shadow the value store: drop or truncate them in
+    # lockstep (a shorter tape is fine — missing suffix positions read
+    # as unattributed).
+    workers = recorder._value_workers
+    for key in list(workers):
+        if key not in recorder._values:
+            del workers[key]
+        else:
+            del workers[key][len(recorder._values[key]):]
 
 
 def replay_journal(path: str | Path) -> JournalReplay:

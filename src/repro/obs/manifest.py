@@ -41,7 +41,11 @@ from repro.errors import ConfigurationError
 #: v3: added the optional ``serve.shards`` (shard topology and cache
 #: balance) and ``serve.admission`` (front-door decision tally)
 #: subsections for the sharded serving tier with async admission.
-SCHEMA_VERSION = 3
+#: v4: added ``online.missing_terms`` (formula terms the evaluator had
+#: no answers for — previously dropped silently) and the optional
+#: ``agg`` section (reliability-weighted aggregation: workers observed,
+#: allocator gain, missing-term tally).
+SCHEMA_VERSION = 4
 
 _NUMBER_MAP = {"type": "object", "additionalProperties": {"type": "number"}}
 _INTEGER_MAP = {"type": "object", "additionalProperties": {"type": "integer"}}
@@ -115,6 +119,17 @@ MANIFEST_SCHEMA = {
                 "objects": {"type": "integer"},
                 "budget_skips": {"type": "integer"},
                 "fault_skips": {"type": "integer"},
+                "missing_terms": {"type": "integer"},
+            },
+        },
+        "agg": {
+            "type": "object",
+            "required": ["workers_observed", "missing_terms"],
+            "properties": {
+                "workers_observed": {"type": "integer"},
+                "observations": {"type": "number"},
+                "gain": {"type": "number"},
+                "missing_terms": {"type": "integer"},
             },
         },
         "plan": {
@@ -322,6 +337,26 @@ def serve_from_metrics(metrics) -> dict | None:
     return section
 
 
+def agg_from_metrics(metrics) -> dict | None:
+    """The manifest ``agg`` section, from ``agg.*`` metrics.
+
+    Returns ``None`` for runs that never exercised non-uniform
+    aggregation and never dropped a formula term (the common case), so
+    historical manifests keep their exact shape.  ``gain`` is the mean
+    per-attribute allocator gain the reliability model granted;
+    ``missing_terms`` mirrors ``online.missing_terms``.
+    """
+    gauges = metrics.gauges()
+    workers = int(gauges.get("agg.workers", 0))
+    missing = int(metrics.counter("agg.missing_terms"))
+    if not workers and not missing and "agg.gain" not in gauges:
+        return None
+    section = {"workers_observed": workers, "missing_terms": missing}
+    if "agg.gain" in gauges:
+        section["gain"] = float(gauges["agg.gain"])
+    return section
+
+
 def plan_summary(plan) -> dict:
     """A JSON-friendly summary of a
     :class:`~repro.core.model.PreprocessingPlan`."""
@@ -386,6 +421,7 @@ def build_manifest(
             "objects": int(metrics.counter("online.objects")),
             "budget_skips": int(metrics.counter("online.budget_skips")),
             "fault_skips": int(metrics.counter("online.fault_skips")),
+            "missing_terms": int(metrics.counter("agg.missing_terms")),
         },
         "counters": metrics.counters(),
         "gauges": metrics.gauges(),
@@ -393,6 +429,9 @@ def build_manifest(
     serve = serve_from_metrics(metrics)
     if serve is not None:
         manifest["serve"] = serve
+    agg = agg_from_metrics(metrics)
+    if agg is not None:
+        manifest["agg"] = agg
     if plan is not None:
         manifest["plan"] = plan_summary(plan)
     if extra is not None:

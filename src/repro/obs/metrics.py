@@ -31,6 +31,9 @@ Naming convention (all counters unless noted):
 ``online.objects``             database objects estimated
 ``online.budget_skips``        online terms lost to budget exhaustion
 ``online.fault_skips``         online terms lost to crowd faults
+``agg.missing_terms``          formula terms evaluated with no answers
+``agg.workers`` (gauge)        workers the reliability model observed
+``agg.gain`` (gauge)           mean per-attribute allocator ESS gain
 ``plan.degradations``          graceful-degradation events
 ``runs.completed``             experiment runs that produced an error
 ``runs.infeasible``            runs skipped as infeasible (PlanningError)

@@ -35,6 +35,7 @@ from typing import Any, Protocol
 
 import numpy as np
 
+from repro.agg.base import UNATTRIBUTED
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.recording import AnswerRecorder
 from repro.errors import ConfigurationError
@@ -46,16 +47,28 @@ CacheKey = tuple[int, str]
 _EMPTY = np.empty(0, dtype=np.float64)
 _EMPTY.setflags(write=False)
 
+_NO_WORKERS = np.empty(0, dtype=np.int64)
+_NO_WORKERS.setflags(write=False)
+
 
 class SupportsAnswerReads(Protocol):
     """Anything answers can be read from: a flat cache or a sharded one."""
 
     def answers(self, object_id: int, attribute: str, n: int) -> np.ndarray: ...
 
+    def workers(self, object_id: int, attribute: str, n: int) -> np.ndarray: ...
+
 
 def _frozen(answers) -> np.ndarray:
     """A read-only float64 copy of one key's answer tape."""
     array = np.array(answers, dtype=np.float64)
+    array.setflags(write=False)
+    return array
+
+
+def _frozen_workers(worker_ids) -> np.ndarray:
+    """A read-only int64 copy of one key's worker-provenance tape."""
+    array = np.array(worker_ids, dtype=np.int64)
     array.setflags(write=False)
     return array
 
@@ -74,6 +87,12 @@ class AnswerCache:
 
     def __init__(self) -> None:
         self._answers: dict[CacheKey, np.ndarray] = {}
+        #: Optional worker-provenance tape per key.  May be *shorter*
+        #: than the answer tape (answers bought before attribution was
+        #: enabled have no recorded worker); the missing suffix reads
+        #: as ``UNATTRIBUTED``.  Mirrors the offline recorder's
+        #: ``_value_workers`` semantics.
+        self._workers: dict[CacheKey, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
 
@@ -104,8 +123,32 @@ class AnswerCache:
         """Answers still to buy so the key can serve ``n``."""
         return max(0, n - self.count(object_id, attribute))
 
-    def add(self, object_id: int, attribute: str, answers) -> int:
-        """Append freshly purchased answers; returns the start index."""
+    def workers(self, object_id: int, attribute: str, n: int) -> np.ndarray:
+        """Worker ids behind the first ``min(n, cached)`` answers.
+
+        Aligned 1:1 with :meth:`answers` for the same ``n``; positions
+        past the recorded provenance tape read as ``UNATTRIBUTED``.
+        """
+        count = min(len(self._answers.get((object_id, attribute), ())), n)
+        if count <= 0:
+            return _NO_WORKERS
+        tape = self._workers.get((object_id, attribute), _NO_WORKERS)
+        if len(tape) >= count:
+            return tape[:count]
+        padded = np.full(count, UNATTRIBUTED, dtype=np.int64)
+        padded[: len(tape)] = tape
+        padded.setflags(write=False)
+        return padded
+
+    def add(
+        self, object_id: int, attribute: str, answers, worker_ids=None
+    ) -> int:
+        """Append freshly purchased answers; returns the start index.
+
+        ``worker_ids`` (optional, aligned with ``answers``) records who
+        produced each fresh answer; any attribution gap before ``start``
+        is padded with ``UNATTRIBUTED`` so tapes stay index-aligned.
+        """
         key = (object_id, attribute)
         fresh = np.asarray(answers, dtype=np.float64)
         existing = self._answers.get(key)
@@ -117,6 +160,20 @@ class AnswerCache:
             tape = np.concatenate([existing, fresh])
             tape.setflags(write=False)
         self._answers[key] = tape
+        if worker_ids is not None:
+            if len(worker_ids) != len(fresh):
+                raise ConfigurationError(
+                    f"{len(worker_ids)} worker ids for {len(fresh)} answers"
+                )
+            recorded = self._workers.get(key, _NO_WORKERS)
+            if len(recorded) < start:
+                pad = np.full(start - len(recorded), UNATTRIBUTED, dtype=np.int64)
+                recorded = np.concatenate([recorded, pad])
+            merged = np.concatenate(
+                [recorded, np.asarray(worker_ids, dtype=np.int64)]
+            )
+            merged.setflags(write=False)
+            self._workers[key] = merged
         return start
 
     def note_hits(self, count: int) -> None:
@@ -140,11 +197,17 @@ class AnswerCache:
         engine's for the same served state, and a checkpoint written at
         one shard count restores cleanly at any other.
         """
+        entries = []
+        for (oid, attr), answers in sorted(self._answers.items()):
+            entry = {"object": oid, "attribute": attr, "answers": answers.tolist()}
+            workers = self._workers.get((oid, attr))
+            # Written only when provenance exists, so attribution-free
+            # caches keep the historical snapshot bytes.
+            if workers is not None and len(workers):
+                entry["workers"] = workers.tolist()
+            entries.append(entry)
         return {
-            "entries": [
-                {"object": oid, "attribute": attr, "answers": answers.tolist()}
-                for (oid, attr), answers in sorted(self._answers.items())
-            ],
+            "entries": entries,
             "hits": self.hits,
             "misses": self.misses,
         }
@@ -153,9 +216,10 @@ class AnswerCache:
     def from_snapshot(cls, payload: dict) -> "AnswerCache":
         cache = cls()
         for entry in payload.get("entries", []):
-            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = (
-                _frozen(entry["answers"])
-            )
+            key = (int(entry["object"]), str(entry["attribute"]))
+            cache._answers[key] = _frozen(entry["answers"])
+            if entry.get("workers"):
+                cache._workers[key] = _frozen_workers(entry["workers"])
         cache.hits = int(payload.get("hits", 0))
         cache.misses = int(payload.get("misses", 0))
         return cache
@@ -165,14 +229,16 @@ class AnswerCache:
         """Rebuild a cache from a (journal-replayed) answer recorder.
 
         The journal's ``value`` records and the recorder's value tapes
-        share the cache's key shape, so a crashed serving run's journal
-        replays straight into a warm cache.
+        share the cache's key shape (including the optional worker
+        tape), so a crashed serving run's journal replays straight into
+        a warm cache with its provenance intact.
         """
         cache = cls()
         for entry in recorder.to_dict()["values"]:
-            cache._answers[(int(entry["object"]), str(entry["attribute"]))] = (
-                _frozen(entry["answers"])
-            )
+            key = (int(entry["object"]), str(entry["attribute"]))
+            cache._answers[key] = _frozen(entry["answers"])
+            if entry.get("workers"):
+                cache._workers[key] = _frozen_workers(entry["workers"])
         return cache
 
 
@@ -194,6 +260,12 @@ class CachedAnswerSource:
         answer is journaled *before* it joins the cache.
     metrics:
         Optional metrics sink for the ``serve.cache.*`` counters.
+    attribute_workers:
+        When True, every fresh purchase also derives and stores the
+        answering worker's id (journaled alongside the answer), so
+        reliability aggregation can weigh the tape later.  Off by
+        default: attribution-free runs keep historical journal and
+        snapshot bytes.
     """
 
     def __init__(
@@ -203,6 +275,7 @@ class CachedAnswerSource:
         stream: DeterministicValueStream | None = None,
         journal: Any = None,
         metrics: Any = None,
+        attribute_workers: bool = False,
     ) -> None:
         self.platform = platform
         self.cache = cache if cache is not None else AnswerCache()
@@ -211,6 +284,7 @@ class CachedAnswerSource:
         )
         self.journal = journal
         self.metrics = metrics
+        self.attribute_workers = bool(attribute_workers)
         #: Serializes charge + journal + cache-insert so concurrent
         #: fetches cannot double-buy a key or tear the ledger.
         self._lock = threading.Lock()
@@ -233,13 +307,30 @@ class CachedAnswerSource:
                 # the charge; generation is pure and cannot fail.
                 self.platform.charge_values(attribute, shortfall)
                 fresh = self.stream.answers(object_id, attribute, cached, shortfall)
+                worker_ids = None
+                if self.attribute_workers:
+                    worker_ids = self.stream.worker_ids(
+                        object_id, attribute, cached, shortfall
+                    )
                 if self.journal is not None:
                     key = (object_id, attribute)
                     for offset, answer in enumerate(fresh):
-                        self.journal.record_answer(
-                            "value", key, cached + offset, answer
-                        )
-                self.cache.add(object_id, attribute, fresh)
+                        # The worker kwarg only appears when provenance
+                        # is on, so plain journal sinks (and the byte
+                        # format) are untouched by default.
+                        if worker_ids is not None:
+                            self.journal.record_answer(
+                                "value",
+                                key,
+                                cached + offset,
+                                answer,
+                                worker=worker_ids[offset],
+                            )
+                        else:
+                            self.journal.record_answer(
+                                "value", key, cached + offset, answer
+                            )
+                self.cache.add(object_id, attribute, fresh, worker_ids)
                 self.cache.note_misses(shortfall)
             if hits:
                 self.platform.record_value_savings(attribute, hits)
@@ -252,6 +343,13 @@ class CachedAnswerSource:
                     self.metrics.inc("serve.cache.misses", shortfall)
                     self.metrics.inc("serve.answers.purchased", shortfall)
             return self.cache.answers(object_id, attribute, n)
+
+    def fetch_attributed(
+        self, object_id: int, attribute: str, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`fetch` plus the worker ids behind the returned span."""
+        values = self.fetch(object_id, attribute, n)
+        return values, self.cache.workers(object_id, attribute, len(values))
 
 
 class CacheReadSource:
@@ -279,3 +377,10 @@ class CacheReadSource:
         if n < 0:
             raise ConfigurationError(f"cannot fetch {n} answers")
         return self.cache.answers(object_id, attribute, n)
+
+    def fetch_attributed(
+        self, object_id: int, attribute: str, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached answers plus the worker ids behind them (pure reads)."""
+        values = self.fetch(object_id, attribute, n)
+        return values, self.cache.workers(object_id, attribute, len(values))

@@ -55,28 +55,42 @@ DEGRADE_REASONS = ("admission", "deadline", "budget", "faults")
 
 @dataclass(frozen=True)
 class TermShortfall:
-    """One ``(object, attribute)`` term that got fewer answers than planned."""
+    """One ``(object, attribute)`` term that got fewer answers than planned.
+
+    ``effective`` (optional) is the Kish effective sample size of the
+    served answers under reliability weighting — strictly less than
+    ``served`` when weights are unequal, so a term served entirely by
+    down-weighted workers is reported as thinner evidence than its raw
+    answer count suggests.  ``None`` (uniform aggregation) keeps the
+    historical serialized shape.
+    """
 
     object_id: int
     attribute: str
     demanded: int
     served: int
+    effective: float | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "object_id": self.object_id,
             "attribute": self.attribute,
             "demanded": self.demanded,
             "served": self.served,
         }
+        if self.effective is not None:
+            payload["effective"] = self.effective
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TermShortfall":
+        effective = payload.get("effective")
         return cls(
             object_id=int(payload["object_id"]),
             attribute=str(payload["attribute"]),
             demanded=int(payload["demanded"]),
             served=int(payload["served"]),
+            effective=None if effective is None else float(effective),
         )
 
 
@@ -188,18 +202,25 @@ def widened_interval(
     hands out ndarrays); ``prior_variance`` stands in for the sample
     variance of a term that got *zero* answers (a range-based bound),
     so empty terms widen the interval instead of silently vanishing
-    from it.
+    from it.  A term may carry a fifth element — the Kish effective
+    sample size of its answers under reliability weighting — which then
+    replaces the raw answer count as the variance divisor: evidence
+    concentrated on down-weighted workers honestly reports a wider
+    interval than its answer count alone would suggest.
     """
     variance = 0.0
     demanded_total = 0
     served_total = 0
-    for coefficient, answers, demanded, prior_variance in terms:
+    for term in terms:
+        coefficient, answers, demanded, prior_variance = term[:4]
+        effective = term[4] if len(term) > 4 and term[4] is not None else None
         demanded_total += demanded
         served_total += len(answers)
         if not demanded:
             continue
         if len(answers):
-            variance += coefficient**2 * population_variance(answers) / len(answers)
+            divisor = effective if effective and effective > 0 else len(answers)
+            variance += coefficient**2 * population_variance(answers) / divisor
         else:
             variance += coefficient**2 * prior_variance
     half_width = Z_CONFIDENCE * math.sqrt(variance)

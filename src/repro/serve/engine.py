@@ -69,6 +69,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.agg.base import UNATTRIBUTED, Aggregator
 from repro.core.model import PreprocessingPlan
 from repro.core.online import OnlineEvaluator
 from repro.crowd.faults import FaultProfile, RetryPolicy, SimulatedClock
@@ -197,6 +198,13 @@ class ServeEngine:
     shed_expired:
         Shed (rather than degrade) queries whose deadline already
         passed when their wave formed.
+    aggregator:
+        Answer-aggregation strategy for the evaluation phase
+        (``None`` or uniform keeps the byte-exact mean path).  A
+        reliability aggregator additionally turns on worker
+        provenance: journal records and cache tapes carry worker ids,
+        the model absorbs every committed span serially, and its
+        state rides in the wave checkpoint for bit-identical resume.
     """
 
     def __init__(
@@ -218,6 +226,7 @@ class ServeEngine:
         shed_expired: bool = False,
         shards: int = 0,
         shard_processes: bool = False,
+        aggregator: Aggregator | None = None,
     ) -> None:
         if max_queue < 1:
             raise ConfigurationError(
@@ -297,6 +306,21 @@ class ServeEngine:
         #: Journal-tail answers folded back into the cache on resume
         #: (re-charged so the ledger matches the crashed run).
         self.restored_answers = 0
+        # Aggregation: "uniform" is the byte-exact mean path with no
+        # provenance bookkeeping; robust aggregators reshape the
+        # evaluator; a reliability aggregator additionally records who
+        # answered what (journal + cache worker tapes) and absorbs
+        # every committed span into its model, serially, so the learned
+        # state is identical under any worker or shard count.
+        if aggregator is not None and aggregator.name == "uniform":
+            aggregator = None
+        self.aggregator = aggregator
+        self._attribute_workers = aggregator is not None and aggregator.needs_workers
+        self._agg_model = (
+            getattr(aggregator, "model", None) if self._attribute_workers else None
+        )
+        #: Per-key answer counts already absorbed into the model.
+        self._agg_seen: dict[CacheKey, int] = {}
         self.journal: Journal | None = None
         self._shard_journals: list[Journal] = []
         self.checkpoints: CheckpointStore | None = None
@@ -344,6 +368,13 @@ class ServeEngine:
                 (int(entry["object"]), str(entry["attribute"])): int(entry["count"])
                 for entry in faults.get("lost", [])
             }
+        agg = payload.get("agg")
+        if agg is not None and self._agg_model is not None:
+            self._agg_model.restore_state(agg["model"])
+            self._agg_seen = {
+                (int(entry[0]), str(entry[1])): int(entry[2])
+                for entry in agg.get("seen", [])
+            }
         for entry in payload.get("results", []):
             result = QueryResult.from_dict(entry)
             result.from_checkpoint = True
@@ -380,6 +411,7 @@ class ServeEngine:
         index range across files, and the merged map heals the split.
         """
         values: dict[CacheKey, dict[int, float]] = {}
+        workers: dict[CacheKey, dict[int, int]] = {}
         lost_totals: dict[CacheKey, int] = {}
         for path in self._journal_paths(directory):
             for record in read_journal(path):
@@ -394,6 +426,9 @@ class ServeEngine:
                             f"serve journals disagree on {key!r}[{index}]"
                         )
                     tape[index] = answer
+                    worker = record.get("worker")
+                    if worker is not None:
+                        workers.setdefault(key, {})[index] = int(worker)
                 elif kind == "lost":
                     key = (int(record["object"]), str(record["attribute"]))
                     lost_totals[key] = lost_totals.get(key, 0) + int(record["count"])
@@ -410,7 +445,18 @@ class ServeEngine:
             if len(tape) <= have:
                 continue
             self.platform.charge_values(attribute, len(tape) - have)
-            self.cache.add(object_id, attribute, tape[have:])
+            worker_tape = workers.get(key)
+            fresh_workers = None
+            if worker_tape is not None and any(
+                index >= have for index in worker_tape
+            ):
+                fresh_workers = [
+                    worker_tape.get(index, UNATTRIBUTED)
+                    for index in range(have, len(tape))
+                ]
+            self.cache.add(object_id, attribute, tape[have:], fresh_workers)
+            if self._agg_model is not None:
+                self._observe_agg(key)
             restored += len(tape) - have
         # Lost-answer records are cursor advances, not purchases: the
         # journal's totals supersede the (older or equal) checkpoint's,
@@ -443,7 +489,36 @@ class ServeEngine:
                     for key, count in sorted(self._lost.items())
                 ],
             }
+        if self._agg_model is not None:
+            payload["agg"] = {
+                "model": self._agg_model.state_dict(),
+                "seen": [
+                    [key[0], key[1], count]
+                    for key, count in sorted(self._agg_seen.items())
+                ],
+            }
         self.checkpoints.save(payload)
+
+    def _observe_agg(self, key: CacheKey) -> None:
+        """Absorb one key's fresh cache span into the reliability model.
+
+        The model's prefix-residual update is chunk-independent
+        (see :meth:`repro.agg.reliability.ReliabilityModel.observe`),
+        and keys are always absorbed serially in sorted commit order,
+        so a resumed run replays the exact float sequence of the
+        straight-through run.
+        """
+        if self._agg_model is None:
+            return
+        object_id, attribute = key
+        total = self.cache.count(object_id, attribute)
+        seen = self._agg_seen.get(key, 0)
+        if total <= seen:
+            return
+        tape = self.cache.answers(object_id, attribute, total)
+        worker_ids = self.cache.workers(object_id, attribute, total)
+        self._agg_model.observe(tape, list(worker_ids[seen:]), start=seen)
+        self._agg_seen[key] = total
 
     def close(self) -> None:
         """Flush and close journals, join workers, stop shard processes."""
@@ -815,10 +890,36 @@ class ServeEngine:
                         answers=obtained,
                     )
                     continue
+                worker_ids: list[int] | None = None
+                if self._attribute_workers and obtained:
+                    if purchase is not None:
+                        # Fault path: non-fault attempts align 1:1, in
+                        # order, with the answers actually obtained.
+                        worker_ids = [
+                            attempt.worker_id
+                            for attempt in purchase.attempts
+                            if not attempt.fault
+                        ]
+                    else:
+                        worker_ids = self.stream.worker_ids(
+                            object_id, attribute, start, obtained
+                        )
                 journal = self._journal_for(key)
                 if journal is not None:
-                    for offset, answer in enumerate(answers):
-                        journal.record_answer("value", key, start + offset, answer)
+                    if worker_ids is not None:
+                        for offset, answer in enumerate(answers):
+                            journal.record_answer(
+                                "value",
+                                key,
+                                start + offset,
+                                answer,
+                                worker=worker_ids[offset],
+                            )
+                    else:
+                        for offset, answer in enumerate(answers):
+                            journal.record_answer(
+                                "value", key, start + offset, answer
+                            )
                     if purchase is not None and purchase.lost:
                         # Journaled as a delta; replay sums deltas into
                         # the key's total cursor advance.
@@ -827,7 +928,9 @@ class ServeEngine:
                     self._replay_purchase(key, purchase)
                 if obtained:
                     self.platform.charge_values(attribute, obtained)
-                    self.cache.add(object_id, attribute, answers)
+                    self.cache.add(object_id, attribute, answers, worker_ids)
+                    if self._agg_model is not None:
+                        self._observe_agg(key)
                     self.cache.note_misses(obtained)
                     purchased += obtained
             if purchased:
@@ -880,6 +983,9 @@ class ServeEngine:
                             attribute=attribute,
                             demanded=count,
                             served=served,
+                            effective=self._effective_count(
+                                object_id, attribute, served
+                            ),
                         )
                     )
                 if hits:
@@ -949,12 +1055,33 @@ class ServeEngine:
                 lost=purchase.lost,
             )
 
+    def _effective_count(
+        self, object_id: int, attribute: str, served: int
+    ) -> float | None:
+        """Effective answer count of one served span under the aggregator.
+
+        ``None`` under uniform aggregation (the raw count is the whole
+        story and the serialized shortfall keeps its historical shape).
+        """
+        if self.aggregator is None or not served:
+            return None
+        answers = self.cache.answers(object_id, attribute, served)
+        worker_ids = None
+        if self.aggregator.needs_workers:
+            worker_ids = list(self.cache.workers(object_id, attribute, served))
+        return self.aggregator.effective_count(answers, worker_ids)
+
     def _evaluate(self, pending: _Pending, source: CacheReadSource) -> QueryResult:
         """Run one query's online phase over the wave cache (pure reads)."""
         request = pending.request
         result = pending.result
         assert result is not None  # filled by the accounting phase
-        evaluator = OnlineEvaluator(self.platform, pending.plans, answer_source=source)
+        evaluator = OnlineEvaluator(
+            self.platform,
+            pending.plans,
+            answer_source=source,
+            aggregator=self.aggregator,
+        )
         estimates: dict[str, list[float]] = {t: [] for t in request.targets}
         deadline_hit = False
         if request.deadline_s is None:
@@ -1030,7 +1157,7 @@ class ServeEngine:
                 continue
             rows: list[list[float]] = []
             for position, object_id in enumerate(result.object_ids):
-                terms: list[tuple[float, list[float], int, float]] = []
+                terms: list[tuple] = []
                 for attribute, coefficient in formula.coefficients.items():
                     demanded = formula.budget[attribute]
                     answers = source.fetch(object_id, attribute, demanded)
@@ -1040,6 +1167,9 @@ class ServeEngine:
                             answers,
                             demanded,
                             self._prior_variance(attribute),
+                            self._effective_count(
+                                object_id, attribute, len(answers)
+                            ),
                         )
                     )
                 rows.append(

@@ -133,11 +133,18 @@ class ShardedAnswerCache:
     def answers(self, object_id: int, attribute: str, n: int) -> np.ndarray:
         return self._partition(object_id, attribute).answers(object_id, attribute, n)
 
+    def workers(self, object_id: int, attribute: str, n: int) -> np.ndarray:
+        return self._partition(object_id, attribute).workers(object_id, attribute, n)
+
     def shortfall(self, object_id: int, attribute: str, n: int) -> int:
         return max(0, n - self.count(object_id, attribute))
 
-    def add(self, object_id: int, attribute: str, answers) -> int:
-        return self._partition(object_id, attribute).add(object_id, attribute, answers)
+    def add(
+        self, object_id: int, attribute: str, answers, worker_ids=None
+    ) -> int:
+        return self._partition(object_id, attribute).add(
+            object_id, attribute, answers, worker_ids
+        )
 
     def note_hits(self, count: int) -> None:
         self.hits += count
@@ -182,6 +189,7 @@ class ShardedAnswerCache:
                 int(entry["object"]),
                 str(entry["attribute"]),
                 entry["answers"],
+                entry.get("workers") or None,
             )
         cache.hits = int(payload.get("hits", 0))
         cache.misses = int(payload.get("misses", 0))

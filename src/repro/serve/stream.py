@@ -134,6 +134,27 @@ class DeterministicValueStream:
             dtype=np.float64,
         )
 
+    def worker_ids(
+        self, object_id: int, attribute: str, start: int, count: int
+    ) -> list[int]:
+        """Worker ids behind answers ``start .. start+count`` of one key.
+
+        Re-derives the per-answer worker draw from the same coordinate
+        generator :meth:`answer` uses, without generating the answers —
+        provenance for any cached span is a pure function of the stream
+        seed, so reliability state can be rebuilt for tapes whose
+        purchase-time attribution was not recorded.
+        """
+        _, attr_key = self._resolve(attribute)
+        n = len(self._workers)
+        ids: list[int] = []
+        for index in range(start, start + count):
+            rng = np.random.default_rng(
+                [self.seed, int(object_id), attr_key, int(index)]
+            )
+            ids.append(self._workers[int(rng.integers(0, n))].worker_id)
+        return ids
+
 
 class _KeyMeta:
     """Hoisted per-(object, attribute) constants for batched generation."""

@@ -1,9 +1,17 @@
 """Unit tests for the worker pool."""
 
+import numpy as np
 import pytest
 
 from repro.crowd.pool import WorkerPool
-from repro.crowd.worker import BiasedWorker, HonestWorker, SpamWorker
+from repro.crowd.worker import (
+    BiasedWorker,
+    CollusionRingWorker,
+    DriftingWorker,
+    HonestWorker,
+    SleeperWorker,
+    SpamWorker,
+)
 from repro.errors import ConfigurationError
 
 
@@ -47,6 +55,86 @@ class TestPoolComposition:
         pool = WorkerPool(size=50, seed=0, skill_spread=0.5)
         skills = {w.skill for w in pool.workers}
         assert len(skills) > 10
+
+
+class TestAdversarialPersonas:
+    def test_persona_fractions_respected(self):
+        pool = WorkerPool(
+            size=100,
+            seed=0,
+            colluding_fraction=0.1,
+            drifting_fraction=0.2,
+            sleeper_fraction=0.1,
+        )
+        ring = sum(isinstance(w, CollusionRingWorker) for w in pool.workers)
+        drift = sum(isinstance(w, DriftingWorker) for w in pool.workers)
+        sleep = sum(isinstance(w, SleeperWorker) for w in pool.workers)
+        assert (ring, drift, sleep) == (10, 20, 10)
+
+    def test_ring_shares_one_error_per_question(self, tiny_domain):
+        pool = WorkerPool(size=10, seed=1, colluding_fraction=0.3)
+        first, second, *_ = [
+            w for w in pool.workers if isinstance(w, CollusionRingWorker)
+        ]
+        # Same (attribute, object) -> the same shared error for every
+        # member; different objects -> different errors (zero-mean over
+        # the database, so no fitted intercept can absorb the attack).
+        assert first._ring_bias(tiny_domain, "target", 5) == second._ring_bias(
+            tiny_domain, "target", 5
+        )
+        errors = {first._ring_bias(tiny_domain, "target", o) for o in range(6)}
+        assert len(errors) == 6
+
+    def test_ring_bias_enters_both_answer_paths(self, tiny_domain):
+        ring = CollusionRingWorker(0, seed=11, ring_seed=99, bias_scale=2.0)
+        twin = HonestWorker(0, seed=11)
+        stateless = ring.answer_value_stateless(
+            tiny_domain, 3, "target", np.random.default_rng(5)
+        ) - twin.answer_value_stateless(
+            tiny_domain, 3, "target", np.random.default_rng(5)
+        )
+        stateful = ring.answer_value(tiny_domain, 3, "target") - twin.answer_value(
+            tiny_domain, 3, "target"
+        )
+        shared = ring._ring_bias(tiny_domain, "target", 3)
+        assert stateless == pytest.approx(shared)
+        assert stateful == pytest.approx(shared)
+
+    def test_ring_vectorized_path_matches_scalar_bias(self, tiny_domain):
+        ring = CollusionRingWorker(0, seed=11, ring_seed=99, bias_scale=2.0)
+        twin = HonestWorker(0, seed=11)
+        object_ids = np.array([0, 3, 7])
+        variates = np.array([0.5, -1.0, 2.0])
+        delta = ring.answer_values_stateless(
+            tiny_domain, object_ids, "target", variates.copy()
+        ) - twin.answer_values_stateless(
+            tiny_domain, object_ids, "target", variates.copy()
+        )
+        expected = [
+            ring._ring_bias(tiny_domain, "target", int(o)) for o in object_ids
+        ]
+        np.testing.assert_allclose(delta, expected)
+
+    def test_drifting_worker_noise_grows_with_object_id(self, tiny_domain):
+        worker = DriftingWorker(0, seed=2, drift_rate=0.5)
+        early = worker._drifted_sd(tiny_domain, 0, "target")
+        late = worker._drifted_sd(tiny_domain, 100, "target")
+        assert late > early
+        assert late == pytest.approx(early * np.sqrt(1 + 0.5 * 100))
+
+    def test_sleeper_honest_below_patience_spam_after(self, tiny_domain):
+        sleeper = SleeperWorker(0, seed=4, patience=10)
+        twin = HonestWorker(0, seed=4)
+        assert sleeper.answer_value_stateless(
+            tiny_domain, 9, "target", np.random.default_rng(5)
+        ) == twin.answer_value_stateless(
+            tiny_domain, 9, "target", np.random.default_rng(5)
+        )
+        low, high = tiny_domain.answer_range("target")
+        spam = sleeper.answer_value_stateless(
+            tiny_domain, 10, "target", np.random.default_rng(5)
+        )
+        assert low <= spam <= high
 
 
 class TestPoolSampling:
