@@ -1,0 +1,88 @@
+"""Plan catalog: persistent preprocessing plans + declarative routing.
+
+The offline phase's output — a :class:`~repro.core.model.
+PreprocessingPlan` — is the system's most expensive artifact, yet until
+this package it evaporated with the process that built it.  The catalog
+makes plans durable, integrity-checked, staleness-aware artifacts keyed
+by (domain, targets, config fingerprint), and puts a small declarative
+front-end over them: a multi-target request decomposes into per-target
+sub-queries, each routed to a cached plan, a warm-start re-plan, or
+fresh preprocessing (DESIGN.md §17).
+
+Layers:
+
+:mod:`repro.catalog.store`
+    :class:`PlanCatalog` — atomic, checksummed entry files with a
+    :class:`StalenessPolicy` (age + statistics drift) and refresh
+    locking; ``catalog.*`` metrics feed the manifest's v5 section.
+:mod:`repro.catalog.query`
+    :func:`decompose` + :class:`PlanRouter` — the declarative
+    front-end behind ``repro query``.
+:mod:`repro.catalog.lineage`
+    Per-plan attribute-lineage graphs (model/formatter split) exported
+    as inspectable JSON artifacts.
+"""
+
+from repro.catalog.lineage import (
+    LineageEdge,
+    LineageGraph,
+    LineageNode,
+    build_lineage,
+    format_lineage_dot,
+    lineage_to_dict,
+    write_lineage,
+)
+from repro.catalog.query import (
+    ROUTES,
+    PlanRouter,
+    RequestSpec,
+    RoutedPlan,
+    RoutedSubQuery,
+    SubQuery,
+    decompose,
+    load_request_file,
+    parse_request_spec,
+)
+from repro.catalog.store import (
+    CATALOG_VERSION,
+    LOOKUP_REASONS,
+    CatalogEntry,
+    CatalogKey,
+    PlanCatalog,
+    StalenessPolicy,
+    config_fingerprint,
+    deserialize_plan,
+    drift_stats,
+    fingerprint_digest,
+    serialize_plan,
+)
+
+__all__ = [
+    "CATALOG_VERSION",
+    "LOOKUP_REASONS",
+    "ROUTES",
+    "CatalogEntry",
+    "CatalogKey",
+    "LineageEdge",
+    "LineageGraph",
+    "LineageNode",
+    "PlanCatalog",
+    "PlanRouter",
+    "RequestSpec",
+    "RoutedPlan",
+    "RoutedSubQuery",
+    "StalenessPolicy",
+    "SubQuery",
+    "build_lineage",
+    "config_fingerprint",
+    "decompose",
+    "deserialize_plan",
+    "drift_stats",
+    "fingerprint_digest",
+    "format_lineage_dot",
+    "lineage_to_dict",
+    "load_request_file",
+    "parse_request_spec",
+    "serialize_plan",
+    "write_lineage",
+]

@@ -1,0 +1,228 @@
+"""Attribute-lineage graphs: a plan's dismantling tree as an artifact.
+
+A :class:`~repro.core.model.PreprocessingPlan` encodes *how* each
+target is answered — which attributes the crowd dismantled it into,
+which suggestions were rejected, and how the accepted ones are weighted
+back into the estimate.  That provenance is exactly what an operator
+inspecting a catalog needs ("why does the protein plan ask about
+calories?"), so the catalog exports it per entry as a small directed
+graph.
+
+The module follows a strict model/formatter split: :func:`build_lineage`
+produces a pure :class:`LineageGraph` value (deterministically ordered,
+no I/O), and the formatters — :func:`lineage_to_dict` for JSON,
+:func:`format_lineage_dot` for Graphviz — render it without ever
+reaching back into the plan.  New output formats therefore cannot
+change what the graph *says*, only how it looks.
+
+Node kinds
+    ``target``
+        A query target (the roots of the estimate).
+    ``discovered``
+        An attribute the dismantling phase accepted into ``A_final``.
+    ``rejected``
+        A crowd suggestion the verifier turned down (kept in the graph
+        because "what the crowd proposed and we refused" is lineage
+        too).
+
+Edge kinds
+    ``dismantle``
+        ``asked -> answer`` for each dismantling round, annotated with
+        whether the suggestion was accepted.
+    ``estimates``
+        ``attribute -> target`` for each non-zero regression term,
+        weighted by its coefficient and the per-object question count
+        the budget grants it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.model import PreprocessingPlan
+from repro.durability.checkpoint import atomic_write_text
+
+#: Schema version of the exported lineage JSON document.
+LINEAGE_VERSION = 1
+
+#: Legal :attr:`LineageNode.kind` values, in display-priority order: a
+#: name that is both a target and a crowd suggestion stays a target.
+NODE_KINDS = ("target", "discovered", "rejected")
+
+#: Legal :attr:`LineageEdge.kind` values.
+EDGE_KINDS = ("dismantle", "estimates")
+
+
+@dataclass(frozen=True)
+class LineageNode:
+    """One attribute in the lineage graph."""
+
+    name: str
+    kind: str
+    #: Questions per object the online budget grants this attribute
+    #: (0 for rejected suggestions and unfunded attributes).
+    questions: int = 0
+
+
+@dataclass(frozen=True)
+class LineageEdge:
+    """One derivation step between two attributes."""
+
+    source: str
+    dest: str
+    kind: str
+    #: Regression coefficient for ``estimates`` edges; 1.0 for
+    #: ``dismantle`` edges.
+    weight: float = 1.0
+    #: Whether the verifier accepted this dismantling suggestion
+    #: (always True for ``estimates`` edges — refused terms never
+    #: reach a formula).
+    accepted: bool = True
+
+
+@dataclass(frozen=True)
+class LineageGraph:
+    """A deterministic, JSON-friendly view of one plan's provenance."""
+
+    targets: tuple[str, ...]
+    nodes: tuple[LineageNode, ...]
+    edges: tuple[LineageEdge, ...]
+
+    def node(self, name: str) -> LineageNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def edges_from(self, source: str) -> tuple[LineageEdge, ...]:
+        return tuple(edge for edge in self.edges if edge.source == source)
+
+
+def build_lineage(plan: PreprocessingPlan) -> LineageGraph:
+    """The lineage graph of one plan (pure; no I/O).
+
+    Node order is targets first (query order), then discovered
+    attributes in discovery order, then rejected suggestions in first-
+    appearance order; edge order is dismantle rounds as logged, then
+    estimation terms in target/formula order.  The same plan always
+    yields the same graph, byte for byte.
+    """
+    kinds: dict[str, str] = {}
+    for target in plan.query.targets:
+        kinds[target] = "target"
+    for attribute in plan.attributes:
+        kinds.setdefault(attribute, "discovered")
+
+    edges: list[LineageEdge] = []
+    for asked, answer, accepted in plan.discovery_log:
+        kinds.setdefault(answer, "rejected" if not accepted else "discovered")
+        kinds.setdefault(asked, "discovered")
+        edges.append(
+            LineageEdge(
+                source=asked,
+                dest=answer,
+                kind="dismantle",
+                accepted=bool(accepted),
+            )
+        )
+    for target in plan.query.targets:
+        formula = plan.formulas.get(target)
+        if formula is None:
+            continue
+        for attribute, coefficient in formula.coefficients.items():
+            kinds.setdefault(attribute, "discovered")
+            edges.append(
+                LineageEdge(
+                    source=attribute,
+                    dest=target,
+                    kind="estimates",
+                    weight=float(coefficient),
+                )
+            )
+
+    ordered: list[str] = []
+    for name in (
+        list(plan.query.targets)
+        + list(plan.attributes)
+        + [edge.dest for edge in edges]
+        + [edge.source for edge in edges]
+    ):
+        if name not in ordered:
+            ordered.append(name)
+    nodes = tuple(
+        LineageNode(
+            name=name, kind=kinds[name], questions=plan.budget[name]
+        )
+        for name in ordered
+    )
+    return LineageGraph(
+        targets=tuple(plan.query.targets), nodes=nodes, edges=tuple(edges)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Formatters
+# ---------------------------------------------------------------------------
+
+
+def lineage_to_dict(graph: LineageGraph) -> dict[str, Any]:
+    """The JSON document shape of a lineage graph."""
+    return {
+        "version": LINEAGE_VERSION,
+        "targets": list(graph.targets),
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": node.kind,
+                "questions": node.questions,
+            }
+            for node in graph.nodes
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "dest": edge.dest,
+                "kind": edge.kind,
+                "weight": edge.weight,
+                "accepted": edge.accepted,
+            }
+            for edge in graph.edges
+        ],
+    }
+
+
+def format_lineage_dot(graph: LineageGraph) -> str:
+    """A Graphviz rendering for eyeballing a plan's dismantling tree."""
+    lines = ["digraph lineage {", "  rankdir=LR;"]
+    shapes = {"target": "doubleoctagon", "discovered": "box", "rejected": "none"}
+    for node in graph.nodes:
+        label = node.name
+        if node.questions:
+            label += f"\\nb={node.questions}"
+        lines.append(
+            f'  "{node.name}" [shape={shapes[node.kind]} label="{label}"];'
+        )
+    for edge in graph.edges:
+        style = "solid" if edge.accepted else "dashed"
+        label = (
+            f"{edge.weight:+.3g}" if edge.kind == "estimates" else edge.kind
+        )
+        lines.append(
+            f'  "{edge.source}" -> "{edge.dest}" '
+            f'[style={style} label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_lineage(path: str | Path, graph: LineageGraph) -> Path:
+    """Atomically write the JSON rendering of ``graph`` to ``path``."""
+    target = Path(path)
+    atomic_write_text(
+        target,
+        json.dumps(lineage_to_dict(graph), indent=2, sort_keys=True) + "\n",
+    )
+    return target

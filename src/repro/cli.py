@@ -6,6 +6,10 @@ Examples::
         --b-obj 4 --b-prc 2000
     python -m repro evaluate --domain pictures --target bmi \
         --b-obj 4 --b-prc 2500 --objects 100 --compare
+    python -m repro plan --domain recipes --target protein \
+        --b-obj 4 --b-prc 2000 --catalog plans/
+    python -m repro query --domain recipes --requests requests.json \
+        --catalog plans/
     python -m repro sweep --domain recipes --target protein \
         --axis b_obj --values 0.4,1,2,4 --b-prc 2500
     python -m repro coverage --domain laptops --target price
@@ -28,6 +32,17 @@ from repro.agg import (
     validate_huber_delta,
     validate_trim_fraction,
 )
+from repro.catalog import (
+    PlanCatalog,
+    PlanRouter,
+    RoutedSubQuery,
+    StalenessPolicy,
+    build_lineage,
+    decompose,
+    drift_stats,
+    load_request_file,
+    write_lineage,
+)
 from repro.core.disq import DisQParams
 from repro.core.online import OnlineEvaluator, query_error
 from repro.core.tuning import optimize_budget_split
@@ -42,7 +57,7 @@ from repro.domains import (
     make_synthetic_domain,
 )
 from repro.durability import CrashInjector, durability_summary, run_disq
-from repro.errors import ConfigurationError
+from repro.errors import CatalogError, ConfigurationError
 from repro.experiments import (
     ExperimentConfig,
     coverage_experiment,
@@ -234,6 +249,96 @@ def _parse_fault_profile(spec: str | None) -> FaultProfile | None:
     return FaultProfile.uniform(rate, latency_mean=latency)
 
 
+def _add_catalog(parser: argparse.ArgumentParser, staleness: bool = True) -> None:
+    parser.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help="persistent plan catalog directory (store plans; reuse them "
+        "across runs instead of re-spending B_prc)",
+    )
+    if staleness:
+        parser.add_argument(
+            "--max-age-s",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="catalog staleness: refresh entries older than this "
+            "(default: no age limit)",
+        )
+        parser.add_argument(
+            "--max-drift",
+            type=float,
+            default=None,
+            metavar="Z",
+            help="catalog staleness: refresh entries whose recorded target "
+            "moments drifted beyond this many (recorded) sigmas "
+            "(default: no drift check)",
+        )
+
+
+def _staleness_policy(args) -> StalenessPolicy:
+    return StalenessPolicy(
+        max_age_s=getattr(args, "max_age_s", None),
+        max_drift=getattr(args, "max_drift", None),
+    )
+
+
+def _make_router(
+    args, obs: Observability, domain, platform, params: DisQParams
+) -> PlanRouter | None:
+    """A catalog-backed plan router when ``--catalog DIR`` was given."""
+    if not getattr(args, "catalog", None):
+        return None
+    catalog = PlanCatalog(args.catalog, policy=_staleness_policy(args), obs=obs)
+    return PlanRouter(
+        catalog, domain, platform, args.b_obj, args.b_prc, params
+    )
+
+
+def _render_routes(router: PlanRouter) -> str:
+    """The catalog route table: one line per routed target tuple."""
+    lines = ["catalog routes:"]
+    for decision in router.decisions:
+        lines.append(
+            f"  {'+'.join(decision.targets):<24} {decision.describe()}"
+        )
+    avoided = sum(d.avoided_cents for d in router.decisions)
+    spent = sum(d.spent_cents for d in router.decisions)
+    lines.append(
+        f"  B_prc: spent {spent:.1f}c, avoided {avoided:.1f}c via catalog hits"
+    )
+    return "\n".join(lines)
+
+
+def _routes_summary(routed: list[RoutedSubQuery]) -> list[dict]:
+    """JSON-friendly per-sub-query route records for the manifest."""
+    return [
+        {
+            "sub_id": item.sub.sub_id,
+            "target": item.sub.target,
+            "route": item.routed.route,
+            "avoided_cents": item.routed.avoided_cents,
+            "spent_cents": item.routed.spent_cents,
+            "stale_reason": item.routed.stale_reason,
+            "reasoning": item.sub.reasoning,
+        }
+        for item in routed
+    ]
+
+
+def _export_lineage(args, router: PlanRouter) -> None:
+    """Write one lineage graph JSON per routed target tuple."""
+    if not getattr(args, "lineage_dir", None):
+        return
+    directory = Path(args.lineage_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for decision in router.decisions:
+        name = f"{args.domain}.{'+'.join(decision.targets)}.lineage.json"
+        path = write_lineage(directory / name, build_lineage(decision.plan))
+        print(f"lineage graph written to {path}")
+
+
 def _check_durability_flags(args) -> None:
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
         raise ConfigurationError("--resume requires --checkpoint-dir")
@@ -287,12 +392,13 @@ def cmd_plan(args) -> int:
     _check_durability_flags(args)
     obs = _make_obs(args)
     domain, platform, query = _build(args, obs)
+    params = DisQParams(n1=args.n1, **_agg_params(args))
     run = run_disq(
         platform,
         query,
         args.b_obj,
         args.b_prc,
-        DisQParams(n1=args.n1, **_agg_params(args)),
+        params,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         chaos=_make_chaos(args),
@@ -301,6 +407,15 @@ def cmd_plan(args) -> int:
     if run.resumed:
         print(f"resumed from checkpoint after phase: {run.resumed_from}")
     print(plan.describe())
+    router = _make_router(args, obs, domain, platform, params)
+    if router is not None:
+        # Store under the same key ``repro query`` / ``repro serve``
+        # will look up, so a plan built here hits there.
+        targets = tuple(args.target)
+        path = router.catalog.store(
+            router.key_for(targets), plan, stats=drift_stats(domain, targets)
+        )
+        print(f"plan stored in catalog: {path}")
     _emit_manifest(
         args,
         obs,
@@ -376,6 +491,7 @@ def cmd_serve(args) -> int:
         domain, recorder=AnswerRecorder(), seed=args.seed, obs=obs
     )
     requests = load_query_file(args.queries)
+    router = _make_router(args, obs, domain, platform, params)
     admission_flags = (
         args.admit_reject_depth,
         args.admit_degrade_depth,
@@ -399,6 +515,9 @@ def cmd_serve(args) -> int:
         # A reliability aggregator starts neutral and learns worker
         # trust online, from the spans the engine commits.
         aggregator=params.build_aggregator(),
+        # With a catalog, plan lookup happens inside submit() through
+        # the router (cache hit, staleness refresh, or fresh plan).
+        plan_source=router.plan_source if router is not None else None,
     ) as engine:
         if engine.resumed:
             print(
@@ -407,20 +526,25 @@ def cmd_serve(args) -> int:
             )
         # One offline plan per distinct target set; queries sharing
         # targets share the plan (and, through the cache, each other's
-        # answers).
+        # answers).  With a catalog the router resolves each set —
+        # routing here keeps the plan phase's timing span honest, and
+        # the engine's plan_source then hits the router's memo.
         plans: dict[tuple[str, ...], object] = {}
         with obs.tracer.span("serve.plan"):
             for request in requests:
                 key = request.targets
                 if key not in plans:
-                    run = run_disq(
-                        platform,
-                        make_query(domain, key),
-                        args.b_obj,
-                        args.b_prc,
-                        params,
-                    )
-                    plans[key] = run.plan
+                    if router is not None:
+                        plans[key] = router.acquire(key).plan
+                    else:
+                        run = run_disq(
+                            platform,
+                            make_query(domain, key),
+                            args.b_obj,
+                            args.b_prc,
+                            params,
+                        )
+                        plans[key] = run.plan
         if any(flag is not None for flag in admission_flags):
             policy = AdmissionPolicy(
                 reject_depth=(
@@ -445,9 +569,14 @@ def cmd_serve(args) -> int:
             report, decisions = admit_and_serve(engine, arrivals, policy)
         else:
             for request in requests:
-                engine.submit(request, plans[request.targets])
+                if router is not None:
+                    engine.submit(request)
+                else:
+                    engine.submit(request, plans[request.targets])
             report = engine.run()
     print(report.render())
+    if router is not None:
+        print(_render_routes(router))
     if decisions is not None:
         print(
             f"  admission: {decisions['admit']} admitted, "
@@ -464,8 +593,85 @@ def cmd_serve(args) -> int:
     summary = report.to_dict()
     for result in summary["results"]:
         result.pop("estimates", None)
+    extra: dict = {"report": summary}
+    if router is not None:
+        extra["routes"] = [
+            {
+                "targets": list(decision.targets),
+                "route": decision.route,
+                "avoided_cents": decision.avoided_cents,
+                "spent_cents": decision.spent_cents,
+                "stale_reason": decision.stale_reason,
+            }
+            for decision in router.decisions
+        ]
     _emit_manifest(
-        args, obs, f"serve:{args.domain}:{len(requests)}q", extra={"report": summary}
+        args, obs, f"serve:{args.domain}:{len(requests)}q", extra=extra
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Serve a declarative multi-target request spec via the catalog."""
+    import json
+
+    _validate_cents("--b-obj", args.b_obj)
+    _validate_cents("--b-prc", args.b_prc)
+    params = DisQParams(n1=args.n1, **_agg_params(args))
+    obs = _make_obs(args)
+    domain = DOMAINS[args.domain](n_objects=args.n_objects, seed=args.seed)
+    platform = CrowdPlatform(
+        domain, recorder=AnswerRecorder(), seed=args.seed, obs=obs
+    )
+    router = _make_router(args, obs, domain, platform, params)
+    assert router is not None  # --catalog is required for this command
+    specs = load_request_file(args.requests)
+    # Decompose every request into per-target sub-queries and route
+    # each through the catalog *before* serving: plan money is settled
+    # (hit / refresh / fresh) up front, so the serve phase below spends
+    # only online B_obj cents.
+    routed: list[RoutedSubQuery] = []
+    with obs.tracer.span("query.route"):
+        for spec in specs:
+            routed.extend(router.route_all(decompose(spec)))
+    with ServeEngine(
+        platform,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        wave_size=args.wave_size,
+        aggregator=params.build_aggregator(),
+        plan_source=router.plan_source,
+    ) as engine:
+        # Submission goes through the engine's plan_source hook; the
+        # router's memo guarantees each sub-query resolves to the very
+        # plan its route decision recorded.
+        for item in routed:
+            engine.submit(item.sub.to_request())
+        report = engine.run()
+    print(
+        f"{len(specs)} request(s) decomposed into {len(routed)} "
+        f"sub-queries"
+    )
+    print("route table:")
+    for item in routed:
+        print(f"  {item.sub.sub_id:<24} {item.routed.describe()}")
+    print(_render_routes(router))
+    print()
+    print(report.render())
+    _export_lineage(args, router)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        print(f"full serve report written to {out}")
+    summary = report.to_dict()
+    for result in summary["results"]:
+        result.pop("estimates", None)
+    _emit_manifest(
+        args,
+        obs,
+        f"query:{args.domain}:{len(specs)}r",
+        extra={"report": summary, "routes": _routes_summary(routed)},
     )
     return 0
 
@@ -584,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_aggregator(plan)
     _add_manifest(plan)
     _add_durability(plan, chaos=True)
+    _add_catalog(plan, staleness=False)
     plan.set_defaults(handler=cmd_plan)
 
     evaluate = commands.add_parser("evaluate", help="plan + online phase + error")
@@ -677,7 +884,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_aggregator(serve)
     _add_manifest(serve)
     _add_durability(serve, chaos=True)
+    _add_catalog(serve)
     serve.set_defaults(handler=cmd_serve)
+
+    query = commands.add_parser(
+        "query",
+        help="serve a declarative multi-target request spec through the "
+        "plan catalog",
+    )
+    query.add_argument(
+        "--domain", choices=sorted(DOMAINS), required=True, help="ground-truth world"
+    )
+    query.add_argument(
+        "--requests",
+        required=True,
+        metavar="PATH",
+        help="request-spec JSON: a list of {id, targets, objects, "
+        "predicates?, deadline_s?} documents",
+    )
+    query.add_argument(
+        "--catalog",
+        required=True,
+        metavar="DIR",
+        help="persistent plan catalog directory (created on first store)",
+    )
+    query.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="catalog staleness: refresh entries older than this",
+    )
+    query.add_argument(
+        "--max-drift",
+        type=float,
+        default=None,
+        metavar="Z",
+        help="catalog staleness: refresh entries whose recorded target "
+        "moments drifted beyond this many (recorded) sigmas",
+    )
+    query.add_argument("--workers", type=int, default=1, help="scheduler threads")
+    query.add_argument(
+        "--max-queue", type=int, default=64, help="backpressure bound (shed beyond)"
+    )
+    query.add_argument(
+        "--wave-size", type=int, default=None, help="queries per wave (default: all)"
+    )
+    query.add_argument("--seed", type=int, default=1, help="simulation seed")
+    query.add_argument("--n-objects", type=int, default=300, help="domain size")
+    query.add_argument("--n1", type=int, default=80, help="statistics examples/pool")
+    query.add_argument("--b-obj", type=float, default=4.0, help="online cents/object")
+    query.add_argument("--b-prc", type=float, default=2000.0, help="offline cents")
+    query.add_argument(
+        "--lineage-dir",
+        metavar="DIR",
+        default=None,
+        help="export each routed plan's attribute-lineage graph JSON here",
+    )
+    query.add_argument(
+        "--out", metavar="PATH", default=None, help="write the full report JSON here"
+    )
+    _add_aggregator(query)
+    _add_manifest(query)
+    query.set_defaults(handler=cmd_query)
 
     sweep = commands.add_parser("sweep", help="budget sweep across algorithms")
     _add_common(sweep)
@@ -723,6 +992,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(effective_argv)
     try:
         return args.handler(args)
+    except CatalogError as exc:
+        # Catalog damage or contention is an operator problem, never a
+        # silently-served stale plan: same exit code as bad flags.
+        print(f"catalog error: {exc}", file=sys.stderr)
+        return EXIT_CONFIGURATION_ERROR
     except ConfigurationError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)
         return EXIT_CONFIGURATION_ERROR

@@ -131,3 +131,45 @@ class CheckpointError(DurabilityError):
 
 class PlanningError(ReproError):
     """Raised when the preprocessing phase cannot produce a valid plan."""
+
+
+class CatalogError(ReproError):
+    """Base class for plan-catalog failures (load, refresh, integrity).
+
+    The CLI maps every catalog error to exit code 2: a broken catalog
+    is a configuration problem the operator must resolve — the system
+    never silently re-plans over (or serves from) an entry it cannot
+    trust.
+    """
+
+
+class CatalogCorruptionError(CatalogError):
+    """Raised when a catalog entry file cannot be read back intact.
+
+    Covers torn or truncated files (invalid JSON), checksum mismatches
+    and schema-version drift.  Unlike the answer journal's torn *tail*
+    — which is expected after a crash and repaired on open — a catalog
+    entry is written atomically, so any damage means the file was
+    tampered with or the storage failed; the entry must be rebuilt
+    explicitly, never trusted.
+    """
+
+
+class CatalogMismatchError(CatalogError):
+    """Raised when an entry's recorded key disagrees with the request.
+
+    The entry file decoded cleanly but was written for a different
+    (domain, targets, config-fingerprint) key than the one that
+    resolved to it — a renamed or copied file, or a digest collision.
+    Serving it would silently answer with a plan built under different
+    budgets, seed or planner parameters.
+    """
+
+
+class CatalogLockError(CatalogError):
+    """Raised when a refresh lock is already held for an entry.
+
+    Two processes noticing the same stale entry must not both re-spend
+    ``B_prc`` re-planning it; the loser surfaces this error instead of
+    silently serving the stale plan it just declared unfit.
+    """

@@ -45,7 +45,11 @@ from repro.errors import ConfigurationError
 #: no answers for — previously dropped silently) and the optional
 #: ``agg`` section (reliability-weighted aggregation: workers observed,
 #: allocator gain, missing-term tally).
-SCHEMA_VERSION = 4
+#: v5: added the optional ``catalog`` section (plan-catalog traffic:
+#: hit/miss/staleness tallies, stores and refreshes, preprocessing
+#: spend avoided by hits, routing decisions of the declarative query
+#: front-end).
+SCHEMA_VERSION = 5
 
 _NUMBER_MAP = {"type": "object", "additionalProperties": {"type": "number"}}
 _INTEGER_MAP = {"type": "object", "additionalProperties": {"type": "integer"}}
@@ -228,6 +232,30 @@ MANIFEST_SCHEMA = {
                 },
             },
         },
+        "catalog": {
+            "type": "object",
+            "required": [
+                "hits",
+                "misses",
+                "stale_age",
+                "stale_drift",
+                "stores",
+                "refreshes",
+                "avoided_cents",
+                "entries",
+            ],
+            "properties": {
+                "hits": {"type": "integer"},
+                "misses": {"type": "integer"},
+                "stale_age": {"type": "integer"},
+                "stale_drift": {"type": "integer"},
+                "stores": {"type": "integer"},
+                "refreshes": {"type": "integer"},
+                "avoided_cents": {"type": "number"},
+                "entries": {"type": "integer"},
+                "routes": _INTEGER_MAP,
+            },
+        },
         "counters": _NUMBER_MAP,
         "gauges": _NUMBER_MAP,
         "extra": {"type": "object"},
@@ -357,6 +385,39 @@ def agg_from_metrics(metrics) -> dict | None:
     return section
 
 
+def catalog_from_metrics(metrics) -> dict | None:
+    """The manifest ``catalog`` section, from ``catalog.*`` metrics.
+
+    Returns ``None`` for runs that never opened a plan catalog (no
+    ``catalog.*`` counter ticked and no ``catalog.entries`` gauge set),
+    so catalog-less manifests keep their exact historical shape.  The
+    counters are incremented inside
+    :class:`~repro.catalog.store.PlanCatalog` and
+    :class:`~repro.catalog.query.PlanRouter` at the same sites that
+    decide routing, so the manifest cannot disagree with the routes the
+    run actually took; ``avoided_cents`` is the preprocessing spend a
+    cold run would have re-paid (summed over hits from each entry's
+    recorded cost).
+    """
+    gauges = metrics.gauges()
+    section = {
+        "hits": int(metrics.counter("catalog.hits")),
+        "misses": int(metrics.counter("catalog.misses")),
+        "stale_age": int(metrics.counter("catalog.stale_age")),
+        "stale_drift": int(metrics.counter("catalog.stale_drift")),
+        "stores": int(metrics.counter("catalog.stores")),
+        "refreshes": int(metrics.counter("catalog.refreshes")),
+        "avoided_cents": float(metrics.counter("catalog.avoided_cents")),
+        "entries": int(gauges.get("catalog.entries", 0)),
+    }
+    routes = _int_map(metrics.by_suffix("catalog.route"))
+    if not any(section.values()) and not routes and "catalog.entries" not in gauges:
+        return None
+    if routes:
+        section["routes"] = routes
+    return section
+
+
 def plan_summary(plan) -> dict:
     """A JSON-friendly summary of a
     :class:`~repro.core.model.PreprocessingPlan`."""
@@ -432,6 +493,9 @@ def build_manifest(
     agg = agg_from_metrics(metrics)
     if agg is not None:
         manifest["agg"] = agg
+    catalog = catalog_from_metrics(metrics)
+    if catalog is not None:
+        manifest["catalog"] = catalog
     if plan is not None:
         manifest["plan"] = plan_summary(plan)
     if extra is not None:

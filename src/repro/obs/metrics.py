@@ -34,6 +34,15 @@ Naming convention (all counters unless noted):
 ``agg.missing_terms``          formula terms evaluated with no answers
 ``agg.workers`` (gauge)        workers the reliability model observed
 ``agg.gain`` (gauge)           mean per-attribute allocator ESS gain
+``catalog.hits``               catalog lookups served from a fresh entry
+``catalog.misses``             lookups with no entry on disk
+``catalog.stale_age``          entries refused for exceeding max age
+``catalog.stale_drift``        entries refused for domain-stats drift
+``catalog.stores``             entries written (first store of a key)
+``catalog.refreshes``          entries re-planned and overwritten
+``catalog.avoided_cents``      preprocessing spend hits did not re-pay
+``catalog.route.<route>``      router decisions (hit/refresh/fresh)
+``catalog.entries`` (gauge)    entry files in the catalog directory
 ``plan.degradations``          graceful-degradation events
 ``runs.completed``             experiment runs that produced an error
 ``runs.infeasible``            runs skipped as infeasible (PlanningError)

@@ -65,7 +65,7 @@ without touching the crowd.
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -205,6 +205,12 @@ class ServeEngine:
         provenance: journal records and cache tapes carry worker ids,
         the model absorbs every committed span serially, and its
         state rides in the wave checkpoint for bit-identical resume.
+    plan_source:
+        Callable resolving a request to its preprocessing plans when
+        :meth:`submit` is called without explicit ``plans`` — the plan
+        catalog's :meth:`~repro.catalog.query.PlanRouter.plan_source`
+        hook.  Explicit plans always win; with neither, submission is
+        a configuration error.
     """
 
     def __init__(
@@ -227,6 +233,8 @@ class ServeEngine:
         shards: int = 0,
         shard_processes: bool = False,
         aggregator: Aggregator | None = None,
+        plan_source: Callable[[QueryRequest], Sequence[PreprocessingPlan]]
+        | None = None,
     ) -> None:
         if max_queue < 1:
             raise ConfigurationError(
@@ -243,6 +251,7 @@ class ServeEngine:
             raise ConfigurationError("shard_processes requires shards >= 1")
         self.platform = platform
         self.obs = platform.obs
+        self.plan_source = plan_source
         self.scheduler = BoundedScheduler(workers)
         self.max_queue = max_queue
         self.wave_size = wave_size
@@ -575,7 +584,7 @@ class ServeEngine:
     def submit(
         self,
         request: QueryRequest,
-        plans: PreprocessingPlan | Sequence[PreprocessingPlan],
+        plans: PreprocessingPlan | Sequence[PreprocessingPlan] | None = None,
         cache_only: bool = False,
     ) -> bool:
         """Admit one query (with its preprocessing plans) for serving.
@@ -584,15 +593,28 @@ class ServeEngine:
         restored checkpoint), ``False`` when shed by backpressure.
         Shed queries still get a :class:`QueryResult` in the report.
 
+        ``plans`` may be omitted when the engine was built with a
+        ``plan_source`` (the catalog-backed lookup path): the source
+        resolves the request's target tuple to its plans — a cached
+        entry, a refresh, or fresh preprocessing — before admission.
+
         With ``cache_only=True`` (the admission layer's shed-with-
         degrade rung) the query contributes no purchase demand: it is
         served from whatever the shared cache holds when its wave
         runs, and any term the cache cannot fully cover degrades with
         reason ``"admission"``.
         """
-        if isinstance(plans, PreprocessingPlan):
+        if plans is None:
+            if self.plan_source is None:
+                raise ConfigurationError(
+                    f"query {request.query_id!r} submitted without plans and "
+                    f"the engine has no plan_source"
+                )
+            plans = list(self.plan_source(request))
+        elif isinstance(plans, PreprocessingPlan):
             plans = [plans]
-        plans = list(plans)
+        else:
+            plans = list(plans)
         if request.query_id in self._seen_ids:
             raise ConfigurationError(
                 f"duplicate query id {request.query_id!r} submitted"

@@ -154,8 +154,13 @@ class QueryRequest:
             )
 
 
-def _parse_objects(spec, query_id: str) -> tuple[int, ...]:
-    """Object ids from a query-file entry: a list, or a range spec."""
+def parse_object_spec(spec, query_id: str) -> tuple[int, ...]:
+    """Object ids from a query-file entry: a list, or a range spec.
+
+    Shared with the declarative catalog front-end
+    (:mod:`repro.catalog.query`), whose request specs use the same
+    object grammar as ``queries.json`` workloads.
+    """
     if isinstance(spec, dict):
         if set(spec) != {"range"} or len(spec["range"]) not in (2, 3):
             raise ConfigurationError(
@@ -202,7 +207,7 @@ def load_query_file(path: str | Path) -> list[QueryRequest]:
             QueryRequest(
                 query_id=query_id,
                 targets=tuple(str(t) for t in entry.get("targets", ())),
-                object_ids=_parse_objects(entry.get("objects", ()), query_id),
+                object_ids=parse_object_spec(entry.get("objects", ()), query_id),
                 predicate=(
                     Predicate.from_dict(predicate) if predicate is not None else None
                 ),

@@ -19,7 +19,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.agg import (
@@ -91,6 +91,11 @@ class TestPermutationInvariance:
     def test_weighted_mean_any_order(self, pairs, rand):
         values = [value for value, _ in pairs]
         weights = [weight for _, weight in pairs]
+        # All-equal weights take the historical arrival-order np.mean
+        # fast path, which is deliberately *not* permutation-invariant
+        # (see weighted_mean's docstring); the fsum contract this test
+        # pins only covers unequal weights.
+        assume(any(w != weights[0] for w in weights))
         reference = weighted_mean(values, weights)
         shuffled = list(pairs)
         rand.shuffle(shuffled)

@@ -1,0 +1,98 @@
+"""Unit tests for attribute-lineage graphs (model/formatter split)."""
+
+import json
+
+import pytest
+
+from repro.catalog.lineage import (
+    LINEAGE_VERSION,
+    build_lineage,
+    format_lineage_dot,
+    lineage_to_dict,
+    write_lineage,
+)
+from repro.core.model import (
+    BudgetDistribution,
+    EstimationFormula,
+    PreprocessingPlan,
+    Query,
+)
+
+pytestmark = pytest.mark.catalog
+
+
+@pytest.fixture
+def plan() -> PreprocessingPlan:
+    return PreprocessingPlan(
+        query=Query(targets=("target",), weights={"target": 1.0}),
+        attributes=("helper", "flag_a"),
+        budget=BudgetDistribution({"helper": 3, "flag_a": 2}),
+        formulas={
+            "target": EstimationFormula(
+                target="target",
+                coefficients={"helper": 0.5, "flag_a": -0.25},
+                intercept=1.0,
+                budget=BudgetDistribution({"helper": 3, "flag_a": 2}),
+            )
+        },
+        dismantle_rounds=3,
+        preprocessing_cost=10.0,
+        discovery_log=(
+            ("target", "helper", True),
+            ("target", "nonsense", False),
+            ("helper", "flag_a", True),
+        ),
+    )
+
+
+class TestBuildLineage:
+    def test_node_kinds(self, plan):
+        graph = build_lineage(plan)
+        assert graph.node("target").kind == "target"
+        assert graph.node("helper").kind == "discovered"
+        assert graph.node("flag_a").kind == "discovered"
+        # The crowd proposed it, the verifier refused it: still lineage.
+        assert graph.node("nonsense").kind == "rejected"
+
+    def test_questions_come_from_the_online_budget(self, plan):
+        graph = build_lineage(plan)
+        assert graph.node("helper").questions == 3
+        assert graph.node("flag_a").questions == 2
+        assert graph.node("nonsense").questions == 0
+
+    def test_edges_cover_dismantling_and_estimation(self, plan):
+        graph = build_lineage(plan)
+        kinds = [edge.kind for edge in graph.edges]
+        assert kinds == ["dismantle", "dismantle", "dismantle", "estimates", "estimates"]
+        rejected = [e for e in graph.edges if not e.accepted]
+        assert [(e.source, e.dest) for e in rejected] == [("target", "nonsense")]
+        estimates = graph.edges_from("helper")[-1]
+        assert estimates.dest == "target"
+        assert estimates.weight == pytest.approx(0.5)
+
+    def test_deterministic_byte_for_byte(self, plan):
+        first = json.dumps(lineage_to_dict(build_lineage(plan)), sort_keys=True)
+        second = json.dumps(lineage_to_dict(build_lineage(plan)), sort_keys=True)
+        assert first == second
+
+
+class TestFormatters:
+    def test_dict_document_shape(self, plan):
+        document = lineage_to_dict(build_lineage(plan))
+        assert document["version"] == LINEAGE_VERSION
+        assert document["targets"] == ["target"]
+        names = {node["name"] for node in document["nodes"]}
+        assert {"target", "helper", "flag_a", "nonsense"} <= names
+
+    def test_dot_rendering_mentions_every_node(self, plan):
+        dot = format_lineage_dot(build_lineage(plan))
+        assert dot.startswith("digraph lineage {")
+        for name in ("target", "helper", "flag_a", "nonsense"):
+            assert f'"{name}"' in dot
+        # Refused suggestions render dashed.
+        assert "style=dashed" in dot
+
+    def test_write_lineage_round_trips(self, plan, tmp_path):
+        graph = build_lineage(plan)
+        path = write_lineage(tmp_path / "lineage.json", graph)
+        assert json.loads(path.read_text()) == lineage_to_dict(graph)
